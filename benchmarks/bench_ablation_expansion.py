@@ -1,0 +1,129 @@
+"""Ablation: multilevel expansion vs the single-level scheme (Section 3.3.1).
+
+The paper motivates the multilevel leaf-chain scan by showing the
+single-level alternative -- walking the contracted dendrogram bottom-up per
+edge -- costs Theta(n * h_alpha) in the worst case.  This ablation measures
+both on the same inputs:
+
+* a star-heavy random tree (mild alpha-dendrogram height), and
+* a pathological "comb" tree engineered for a tall contracted dendrogram,
+
+reporting wall time and the pointer-chase kernel work the single-level walk
+emits.  Asserts the multilevel scheme does asymptotically less chain-
+assignment work on the pathological input while both produce identical
+dendrograms.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import scaled
+from repro import dendrogram_single_level, pandora
+from repro.bench import emit_table
+from repro.parallel.machine import CostModel, tracking
+from repro.structures.tree import random_spanning_tree
+
+N = scaled(30_000)
+
+
+def broom_tree(k: int):
+    """Worst case for the single-level walk: a weight-monotone spine whose
+    alpha-dendrogram is a k-long chain, plus *heavy* pendants deep in the
+    spine.
+
+    A light pendant at every spine vertex keeps each spine edge an
+    alpha-edge (the pendant is the vertex's maxIncident).  A heavy pendant
+    at deep vertex p_j gets a sorted index between the spine edges near the
+    *top* of the chain, so its bottom-up walk climbs ~k/2 dendrogram levels
+    before finding a smaller-index ancestor -- Theta(k) per edge, Theta(k^2)
+    total, the Figure-10 pathology.
+    """
+    u, v, w = [], [], []
+    nxt = k + 1
+    for j in range(k):                      # spine p_j - p_{j+1}
+        u.append(j)
+        v.append(j + 1)
+        w.append(1e6 - j)                   # monotone: chain dendrogram
+    for j in range(k + 1):                  # light pendant at every vertex
+        u.append(j)
+        v.append(nxt)
+        w.append(1e-3 + j * 1e-6)
+        nxt += 1
+    for j in range(k // 2, k):              # heavy pendants deep in the spine
+        u.append(j)
+        v.append(nxt)
+        w.append(1e6 - (j - k // 2) - 0.5)
+        nxt += 1
+    return np.array(u), np.array(v), np.array(w, dtype=float)
+
+
+def run_with_trace(fn, *args):
+    model = CostModel()
+    t0 = time.perf_counter()
+    with tracking(model):
+        result = fn(*args)
+    return result, time.perf_counter() - t0, model
+
+
+@pytest.fixture(scope="module")
+def cases(rng=None):
+    rng = np.random.default_rng(99)
+    out = {}
+    u, v, w = random_spanning_tree(N, rng, skew=0.5)
+    out["random(skew=0.5)"] = (u, v, w)
+    u, v, w = broom_tree(2 * N // 5)
+    out["broom(pathological)"] = (u, v, w)
+    return out
+
+
+def chase_work(model: CostModel) -> int:
+    return sum(
+        r.work for r in model.records if r.name.startswith("expand1.")
+    )
+
+
+def scan_work(model: CostModel) -> int:
+    return sum(
+        r.work for r in model.records if r.name.startswith("expand.")
+    )
+
+
+def test_ablation_expansion(benchmark, cases):
+    rows = []
+    stats = {}
+    for name, (u, v, w) in cases.items():
+        (d_multi, _), t_multi, m_multi = run_with_trace(pandora, u, v, w)
+        (d_single, _), t_single, m_single = run_with_trace(
+            dendrogram_single_level, u, v, w
+        )
+        assert np.array_equal(d_multi.parent, d_single.parent), name
+        work_multi = scan_work(m_multi)
+        work_single = chase_work(m_single)
+        rows.append([
+            name, len(u), t_multi, t_single, work_multi, work_single,
+            work_single / max(work_multi, 1),
+        ])
+        stats[name] = (work_multi, work_single, t_multi, t_single)
+
+    emit_table(
+        "ablation_expansion",
+        ["tree", "n_edges", "multilevel_s", "single_level_s",
+         "multilevel_work", "single_level_work", "work_ratio"],
+        rows,
+        "Ablation (Section 3.3.1 vs 3.3.2): chain-assignment cost of "
+        "single-level expansion vs the multilevel scan",
+    )
+
+    # the pathological tree must show the asymptotic gap
+    wm, ws, tm, ts = stats["broom(pathological)"]
+    assert ws > 10 * wm, (
+        f"single-level should do far more chain-assignment work: {ws} vs {wm}"
+    )
+    assert ts > tm, "the extra work should also cost wall-clock time"
+
+    u, v, w = cases["broom(pathological)"]
+    benchmark.pedantic(lambda: pandora(u, v, w), rounds=3, iterations=1)

@@ -1,0 +1,95 @@
+"""Figure 1: where HDBSCAN* time goes, and what PANDORA changes.
+
+The paper's opening figure (Hacc37M, EPYC + MI250X): once the EMST moves to
+the GPU, the CPU dendrogram becomes 86% of the pipeline; PANDORA cuts
+dendrogram time 17.6x, leaving it at 26% of a much faster pipeline, with a
+5.4x end-to-end gain over the MST(GPU)+dendrogram(CPU) configuration
+visible in the figure's bars.
+
+Reproduction: modeled paper-scale times for the three configurations:
+
+  A. CPU MST + CPU UnionFind dendrogram        (all-CPU status quo)
+  B. GPU MST + CPU UnionFind dendrogram        (the "before" of the paper)
+  C. GPU MST + GPU PANDORA dendrogram          (the paper's contribution)
+
+Asserts: dendrogram dominates configuration B (>=60%), drops below 40% in
+C, the dendrogram speedup B->C lands near the paper's ~17x, and the
+end-to-end B->C gain is severalfold.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import scaled
+from repro.bench import (
+    DEVICE_TRIO,
+    emit_table,
+    get_mst,
+    modeled_emst,
+    modeled_unionfind_mt,
+    pandora_trace,
+)
+from repro.data import DATASETS
+from repro.parallel.machine import scale_trace
+
+N = scaled(30_000)
+DATASET = "Hacc37M"
+
+
+@pytest.fixture(scope="module")
+def configs():
+    cpu = DEVICE_TRIO["epyc7a53"]
+    gpu = DEVICE_TRIO["mi250x"]
+    paper_n = DATASETS[DATASET].paper_npts
+
+    u, v, w, nv = get_mst(DATASET, N, mpts=2)
+    factor = paper_n / nv
+    dtrace = scale_trace(pandora_trace(u, v, w, nv), factor)
+
+    mst_cpu = modeled_emst(paper_n, cpu, mpts=2)
+    mst_gpu = modeled_emst(paper_n, gpu, mpts=2)
+    dendro_uf_cpu = modeled_unionfind_mt(paper_n - 1, cpu)
+    dendro_pan_gpu = dtrace.modeled_time(gpu)
+
+    return {
+        "A: MST(CPU)+dendro(CPU-UF)": (mst_cpu, dendro_uf_cpu),
+        "B: MST(GPU)+dendro(CPU-UF)": (mst_gpu, dendro_uf_cpu),
+        "C: MST(GPU)+dendro(GPU-PANDORA)": (mst_gpu, dendro_pan_gpu),
+    }
+
+
+def test_fig01_breakdown(benchmark, configs):
+    rows = []
+    for name, (mst_t, dendro_t) in configs.items():
+        total = mst_t + dendro_t
+        rows.append([name, mst_t, dendro_t, total, dendro_t / total])
+    emit_table(
+        "fig01",
+        ["configuration", "mst_s", "dendrogram_s", "total_s",
+         "dendro_fraction"],
+        rows,
+        "Figure 1: Hacc37M pipeline breakdown at paper scale "
+        "(paper: dendro 86% in B; 17.6x dendro and 5.4x total gain B->C)",
+    )
+
+    (mst_b, den_b) = configs["B: MST(GPU)+dendro(CPU-UF)"]
+    (mst_c, den_c) = configs["C: MST(GPU)+dendro(GPU-PANDORA)"]
+    frac_b = den_b / (mst_b + den_b)
+    frac_c = den_c / (mst_c + den_c)
+    dendro_gain = den_b / den_c
+    total_gain = (mst_b + den_b) / (mst_c + den_c)
+
+    assert frac_b >= 0.60, f"dendrogram should dominate config B: {frac_b:.2f}"
+    assert frac_c <= 0.40, f"PANDORA should shrink the share: {frac_c:.2f}"
+    assert 8 <= dendro_gain <= 40, (
+        f"dendrogram gain {dendro_gain:.1f} far from the paper's 17.6x"
+    )
+    assert 2 <= total_gain <= 12, (
+        f"end-to-end gain {total_gain:.1f} far from the paper's 5.4x"
+    )
+
+    u, v, w, nv = get_mst(DATASET, N, mpts=2)
+    benchmark.pedantic(
+        lambda: pandora_trace(u, v, w, nv), rounds=3, iterations=1
+    )

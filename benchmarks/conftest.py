@@ -1,0 +1,20 @@
+"""Benchmark-suite configuration.
+
+Sizes are reproduction-scale (tens of thousands of points; the paper uses
+millions to hundreds of millions).  Modeled device numbers are extrapolated
+to the paper's sizes via ``scale_trace`` where a figure reports full-scale
+results; measured Python numbers are reported at reproduction scale.
+
+Set ``REPRO_BENCH_SCALE`` (e.g. ``0.3`` or ``2``) to shrink/grow every
+workload; the first run builds EMST caches under ``benchmarks/.cache`` and
+is therefore much slower than subsequent runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def scaled(n: int) -> int:
+    """Apply the global benchmark size multiplier."""
+    return max(2000, int(n * float(os.environ.get("REPRO_BENCH_SCALE", "1"))))

@@ -1,0 +1,86 @@
+"""Single-linkage image segmentation on a pixel-grid MST.
+
+Section 2.3.4 of the paper connects dendrograms to image morphological
+trees (max-tree / alpha-tree): the same hierarchy computed over a pixel
+adjacency graph.  This example builds that substrate from scratch -- a
+synthetic image, its 4-connected grid graph weighted by intensity gradients,
+a Boruvka MST over it, and the PANDORA dendrogram -- then cuts the hierarchy
+at an intensity tolerance to produce segments (the alpha-tree's flat zones).
+
+Run:  python examples/image_segmentation.py
+"""
+
+import numpy as np
+
+from repro import pandora
+from repro.mst import mst_boruvka
+
+
+def synthetic_image(side: int, seed: int = 0) -> np.ndarray:
+    """Piecewise-constant regions + smooth shading + mild noise."""
+    rng = np.random.default_rng(seed)
+    img = np.zeros((side, side))
+    # three intensity plateaus
+    img[: side // 2, : side // 2] = 0.2
+    img[: side // 3, side // 2:] = 0.7
+    img[side // 2:, :] = 1.0
+    # a disc
+    yy, xx = np.mgrid[0:side, 0:side]
+    disc = (yy - side * 0.3) ** 2 + (xx - side * 0.7) ** 2 < (side * 0.15) ** 2
+    img[disc] = 0.45
+    img += rng.normal(scale=0.01, size=img.shape)
+    return img
+
+
+def grid_graph(img: np.ndarray):
+    """4-connectivity edges weighted by absolute intensity difference."""
+    side_y, side_x = img.shape
+    idx = np.arange(side_y * side_x).reshape(side_y, side_x)
+    # horizontal edges
+    hu = idx[:, :-1].ravel()
+    hv = idx[:, 1:].ravel()
+    hw = np.abs(img[:, :-1] - img[:, 1:]).ravel()
+    # vertical edges
+    vu = idx[:-1, :].ravel()
+    vv = idx[1:, :].ravel()
+    vw = np.abs(img[:-1, :] - img[1:, :]).ravel()
+    return (
+        np.concatenate([hu, vu]),
+        np.concatenate([hv, vv]),
+        np.concatenate([hw, vw]),
+    )
+
+
+def main() -> None:
+    side = 96
+    img = synthetic_image(side, seed=3)
+    n_px = side * side
+    print(f"image {side}x{side} -> {n_px:,} pixels")
+
+    u, v, w = grid_graph(img)
+    print(f"grid graph: {len(u):,} edges")
+
+    mu, mv, mw = mst_boruvka(n_px, u, v, w)
+    dend, stats = pandora(mu, mv, mw, n_px)
+    print(f"pixel MST dendrogram: height {dend.height}, "
+          f"skewness {dend.skewness:.0f}, "
+          f"{stats.n_levels} contraction levels")
+
+    print(f"\n{'tolerance':>10} {'segments':>9} {'largest':>8} {'>=50px':>7}")
+    for tol in (0.02, 0.05, 0.1, 0.2):
+        labels = dend.cut(tol)
+        sizes = np.bincount(labels)
+        big = int((sizes >= 50).sum())
+        print(f"{tol:>10.2f} {len(sizes):>9,} {sizes.max():>8,} {big:>7}")
+
+    # the natural segmentation: 5 generated regions at tol ~ 0.05
+    labels = dend.cut(0.05)
+    sizes = np.sort(np.bincount(labels))[::-1]
+    print(f"\nat tolerance 0.05, the 5 largest segments hold "
+          f"{sizes[:5].sum() / n_px:.1%} of pixels "
+          f"(true image has 5 regions)")
+    assert (sizes[:5] > 100).all(), "expected five macroscopic segments"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""repro: reproduction of PANDORA (ICPP 2024).
+
+Parallel dendrogram construction for single-linkage clustering and HDBSCAN*,
+with the paper's baselines, an EMST/HDBSCAN* substrate, synthetic dataset
+proxies, and a work-depth device model for GPU-shaped benchmarking.
+
+Quickstart::
+
+    import numpy as np
+    from repro import pandora, dendrogram_bottomup
+
+    # any minimum spanning tree as (u, v, weight) arrays
+    dend, stats = pandora(u, v, w)
+    dend.validate()
+    print(dend.height, dend.skewness)
+"""
+
+from .core import (
+    PandoraStats,
+    dendrogram_bottomup,
+    dendrogram_mixed,
+    dendrogram_single_level,
+    dendrogram_topdown,
+    pandora,
+)
+from .structures import Dendrogram, SortedEdgeList, sort_edges_descending
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "pandora",
+    "PandoraStats",
+    "dendrogram_bottomup",
+    "dendrogram_topdown",
+    "dendrogram_mixed",
+    "dendrogram_single_level",
+    "Dendrogram",
+    "SortedEdgeList",
+    "sort_edges_descending",
+    "__version__",
+]

@@ -1,0 +1,165 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``cluster``    run HDBSCAN* on a registry dataset or a .npy point file and
+               print the flat clustering summary.
+``dendrogram`` build a dendrogram from a dataset (or .npy) and print its
+               statistics and phase times; optionally verify against the
+               sequential oracle and export Newick.
+``datasets``   list the Table-2 dataset registry.
+``devices``    show the calibrated device models and price a synthetic trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _load_points(source: str, n: int | None, seed: int) -> np.ndarray:
+    if source.endswith(".npy"):
+        pts = np.load(source)
+        if n is not None:
+            pts = pts[:n]
+        return np.ascontiguousarray(pts, dtype=np.float64)
+    from .data import load_dataset
+
+    return load_dataset(source, n=n, seed=seed)
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    from .hdbscan import hdbscan
+
+    pts = _load_points(args.source, args.n, args.seed)
+    res = hdbscan(
+        pts,
+        mpts=args.mpts,
+        min_cluster_size=args.min_cluster_size,
+        dendrogram_algorithm=args.algorithm,
+    )
+    print(f"points: {len(pts):,} (dim {pts.shape[1]})")
+    print(f"clusters: {res.n_clusters}")
+    sizes = np.sort(res.flat.cluster_sizes())[::-1]
+    if sizes.size:
+        print(f"sizes: {sizes[:10].tolist()}"
+              + (" ..." if sizes.size > 10 else ""))
+    print(f"noise: {res.flat.noise_fraction:.1%}")
+    print("phases:", {k: f"{v:.3f}s" for k, v in res.phase_seconds.items()})
+    if args.out:
+        np.save(args.out, res.labels)
+        print(f"labels written to {args.out}")
+    return 0
+
+
+def cmd_dendrogram(args: argparse.Namespace) -> int:
+    from . import dendrogram_bottomup, pandora
+    from .spatial import emst
+
+    pts = _load_points(args.source, args.n, args.seed)
+    mst = emst(pts, mpts=args.mpts)
+    dend, stats = pandora(mst.u, mst.v, mst.w, len(pts))
+    print(f"points: {len(pts):,}  MST edges: {mst.n_edges:,} "
+          f"(Boruvka rounds: {mst.n_rounds})")
+    print(f"height: {dend.height:,}  skewness: {dend.skewness:.1f}")
+    print(f"levels: {stats.n_levels}  sizes: {stats.level_sizes}")
+    kinds = dend.kind_counts()
+    print(f"edge kinds: {kinds['leaf']} leaf / {kinds['chain']} chain / "
+          f"{kinds['alpha']} alpha")
+    print("phases:", {k: f"{v:.3f}s" for k, v in stats.phase_seconds.items()})
+    if args.verify:
+        ref = dendrogram_bottomup(mst.u, mst.v, mst.w, len(pts))
+        ok = bool(np.array_equal(dend.parent, ref.parent))
+        print(f"oracle verification: {'IDENTICAL' if ok else 'MISMATCH'}")
+        if not ok:
+            return 1
+    if args.newick:
+        with open(args.newick, "w", encoding="utf-8") as fh:
+            fh.write(dend.to_newick() + "\n")
+        print(f"newick written to {args.newick}")
+    return 0
+
+
+def cmd_datasets(_args: argparse.Namespace) -> int:
+    from .data import DATASETS
+    from .perf import render_table
+
+    rows = [
+        [s.name, s.dim, s.paper_npts, s.paper_imbalance, s.default_n,
+         s.description]
+        for s in DATASETS.values()
+    ]
+    print(render_table(
+        ["name", "dim", "paper_npts", "paper_imb", "default_n", "desc"],
+        rows, title="Table-2 dataset registry",
+    ))
+    return 0
+
+
+def cmd_devices(args: argparse.Namespace) -> int:
+    from .parallel import DEVICES, CostModel
+    from .perf import render_table
+
+    model = CostModel()
+    n = args.n
+    with model.phase("sort"):
+        model.add("edge_sort", "sort", n)
+        model.add("chain_sort", "sort", n)
+    with model.phase("contraction"):
+        model.add("contract", "scatter", 2 * n)
+    with model.phase("expansion"):
+        model.add("expand", "gather", n)
+    rows = []
+    for key, spec in DEVICES.items():
+        t = model.modeled_time(spec)
+        rows.append([key, spec.name, spec.kind, f"{t * 1e3:.2f}ms",
+                     f"{1e-6 * n / t:.1f}"])
+    print(render_table(
+        ["key", "device", "kind", f"t(n={n:,})", "MPts/s"],
+        rows, title="Calibrated device models (synthetic PANDORA-shaped trace)",
+    ))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="PANDORA reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("cluster", help="HDBSCAN* a dataset")
+    p.add_argument("source", help="registry dataset name or .npy file")
+    p.add_argument("--n", type=int, default=None, help="point count")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--mpts", type=int, default=2)
+    p.add_argument("--min-cluster-size", type=int, default=5)
+    p.add_argument("--algorithm", default="pandora",
+                   choices=["pandora", "unionfind", "mixed"])
+    p.add_argument("--out", default=None, help="write labels to .npy")
+    p.set_defaults(fn=cmd_cluster)
+
+    p = sub.add_parser("dendrogram", help="build + inspect a dendrogram")
+    p.add_argument("source")
+    p.add_argument("--n", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--mpts", type=int, default=2)
+    p.add_argument("--verify", action="store_true",
+                   help="check against the sequential oracle")
+    p.add_argument("--newick", default=None, help="export Newick to file")
+    p.set_defaults(fn=cmd_dendrogram)
+
+    p = sub.add_parser("datasets", help="list the dataset registry")
+    p.set_defaults(fn=cmd_datasets)
+
+    p = sub.add_parser("devices", help="show calibrated device models")
+    p.add_argument("--n", type=int, default=1_000_000)
+    p.set_defaults(fn=cmd_devices)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

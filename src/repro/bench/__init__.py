@@ -1,0 +1,28 @@
+"""Benchmark harness support (cached workloads, runners, table output)."""
+
+from .runners import (
+    DEVICE_TRIO,
+    SEQ_UF_RATE,
+    emst_trace,
+    emst_trace_cached,
+    get_mst,
+    modeled_emst,
+    modeled_unionfind_mt,
+    pandora_trace,
+    time_dendrogram,
+)
+from .tables import RESULTS_DIR, emit_table
+
+__all__ = [
+    "get_mst",
+    "time_dendrogram",
+    "pandora_trace",
+    "emst_trace",
+    "emst_trace_cached",
+    "modeled_emst",
+    "modeled_unionfind_mt",
+    "DEVICE_TRIO",
+    "SEQ_UF_RATE",
+    "emit_table",
+    "RESULTS_DIR",
+]

@@ -1,0 +1,36 @@
+"""Result table output for the benchmark harness.
+
+Each figure/table bench renders its rows with
+:func:`repro.perf.report.render_table`, prints them (visible with
+``pytest -s``) and persists them under ``benchmarks/results/`` so
+EXPERIMENTS.md can reference stable artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+from ..perf.report import render_table
+
+__all__ = ["RESULTS_DIR", "emit_table"]
+
+RESULTS_DIR = os.path.join(
+    os.path.dirname(__file__), "..", "..", "..", "benchmarks", "results"
+)
+
+
+def emit_table(
+    exp_id: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str,
+) -> str:
+    """Render, print, and persist one experiment table; returns the text."""
+    text = render_table(headers, rows, title=f"[{exp_id}] {title}")
+    print("\n" + text + "\n")
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{exp_id}.txt")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text + "\n")
+    return text

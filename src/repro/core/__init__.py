@@ -1,0 +1,36 @@
+"""PANDORA core: alpha classification, contraction, expansion, baselines."""
+
+from .alpha import alpha_mask, max_incident
+from .baselines import (
+    MixedStats,
+    TopDownResult,
+    bottomup_parents,
+    dendrogram_bottomup,
+    dendrogram_mixed,
+    dendrogram_topdown,
+)
+from .contraction import ContractionLevel, contract_multilevel, max_contraction_levels
+from .expansion import ChainAssignment, assign_chains, expand_single_level, stitch_chains
+from .pandora import PandoraStats, dendrogram_single_level, pandora, pandora_parents
+
+__all__ = [
+    "max_incident",
+    "alpha_mask",
+    "ContractionLevel",
+    "contract_multilevel",
+    "max_contraction_levels",
+    "ChainAssignment",
+    "assign_chains",
+    "stitch_chains",
+    "expand_single_level",
+    "pandora",
+    "pandora_parents",
+    "PandoraStats",
+    "dendrogram_single_level",
+    "dendrogram_bottomup",
+    "bottomup_parents",
+    "dendrogram_topdown",
+    "TopDownResult",
+    "dendrogram_mixed",
+    "MixedStats",
+]

@@ -1,0 +1,82 @@
+"""Alpha-edge classification (Section 3.1.2 / 3.2, Equation 2).
+
+Given the edges of a tree in canonical order (descending weight, so index =
+rank, larger index = lighter), the dendrogram parent of a *vertex* is its
+maximum-index incident edge (Eq. 1):
+
+    P(v) = maxIncident(v)
+
+and an edge ``e_k = {u, v}`` is an **alpha-edge** -- both dendrogram children
+are edge nodes -- iff (Eq. 2):
+
+    k != maxIncident(u)  and  k != maxIncident(v)
+
+Both quantities are computed with one scatter kernel each, O(1) work per
+edge, which is what makes the contraction step cheap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..parallel.machine import emit
+
+__all__ = ["max_incident", "alpha_mask"]
+
+
+def max_incident(
+    n_vertices: int, u: np.ndarray, v: np.ndarray, idx: np.ndarray | None = None
+) -> np.ndarray:
+    """``maxIncident`` of every vertex: largest edge index touching it.
+
+    Parameters
+    ----------
+    n_vertices:
+        Vertex count of the tree (labels ``0..n_vertices-1``).
+    u, v:
+        Edge endpoints, listed in **ascending index order** (the canonical
+        sorted order guarantees this).
+    idx:
+        Global edge indices of the rows; defaults to ``0..m-1``.  Must be
+        strictly ascending.
+
+    Returns
+    -------
+    ``(n_vertices,)`` int64 array; ``-1`` for vertices with no incident edge.
+
+    Notes
+    -----
+    Uses the ordered-scatter trick: interleave the two endpoint columns so
+    writes occur in ascending index order, then a plain fancy assignment's
+    last-write-wins semantics realizes an atomic-max in a single pass.  This
+    is the NumPy analogue of the paper's one `parallel_for` + `atomicMax`.
+    """
+    m = u.size
+    if idx is None:
+        idx = np.arange(m, dtype=np.int64)
+    else:
+        idx = np.asarray(idx, dtype=np.int64)
+        if m > 1 and np.any(np.diff(idx) <= 0):
+            raise ValueError("edge indices must be strictly ascending")
+    out = np.full(n_vertices, -1, dtype=np.int64)
+    if m == 0:
+        return out
+    verts = np.empty(2 * m, dtype=np.int64)
+    verts[0::2] = u
+    verts[1::2] = v
+    vals = np.repeat(idx, 2)
+    # Last-write-wins fancy assignment; vals ascending => max per vertex.
+    out[verts] = vals
+    emit("alpha.max_incident", "scatter", 2 * m)
+    return out
+
+
+def alpha_mask(
+    max_inc: np.ndarray, u: np.ndarray, v: np.ndarray, idx: np.ndarray | None = None
+) -> np.ndarray:
+    """Boolean alpha-edge mask per Equation 2; one gather + map kernel."""
+    m = u.size
+    if idx is None:
+        idx = np.arange(m, dtype=np.int64)
+    emit("alpha.mask", "gather", 2 * m)
+    return (max_inc[u] != idx) & (max_inc[v] != idx)

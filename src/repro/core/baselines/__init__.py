@@ -1,0 +1,17 @@
+"""Baseline dendrogram constructions: Algorithms 1, 2, and the mixed scheme."""
+
+from .bottomup import bottomup_parents, dendrogram_bottomup
+from .mixed import MixedStats, dendrogram_mixed
+from .slink import slink, slink_linkage
+from .topdown import TopDownResult, dendrogram_topdown
+
+__all__ = [
+    "dendrogram_bottomup",
+    "bottomup_parents",
+    "dendrogram_topdown",
+    "TopDownResult",
+    "dendrogram_mixed",
+    "MixedStats",
+    "slink",
+    "slink_linkage",
+]

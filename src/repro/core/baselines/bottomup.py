@@ -1,0 +1,70 @@
+"""Bottom-up dendrogram construction via union-find (Algorithm 2).
+
+Edges are processed from lightest to heaviest.  Each edge merges the two
+clusters containing its endpoints and becomes their dendrogram parent: if a
+cluster was last merged by edge ``r``, then ``r``'s parent is the current
+edge; a still-singleton vertex gets the current edge as its (vertex-node)
+parent.
+
+This is work-optimal -- O(n alpha(n)) after the O(n log n) sort -- but the
+edge loop is inherently sequential (Section 2.3.2): an edge's dendrogram
+parent can come from an arbitrarily distant part of the tree, so no local
+information suffices to process edges independently.  The loop below is
+plain Python on purpose; it doubles as the **oracle** for every other
+algorithm, since the dendrogram is unique given the canonical edge order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...structures.dendrogram import Dendrogram
+from ...structures.edgelist import sort_edges_descending
+
+__all__ = ["dendrogram_bottomup", "bottomup_parents"]
+
+
+def bottomup_parents(u: np.ndarray, v: np.ndarray, n_vertices: int) -> np.ndarray:
+    """Parent array for a canonically-sorted tree (row k = edge index k)."""
+    n = len(u)
+    parent = np.full(n + n_vertices, -1, dtype=np.int64)
+
+    # Inlined union-find with path halving + union by size: the loop body is
+    # the whole algorithm, so keep attribute lookups out of it.
+    uf_parent = list(range(n_vertices))
+    uf_size = [1] * n_vertices
+    last_merge = [-1] * n_vertices  # r_x of Algorithm 2, per UF root
+    par = parent  # local alias
+    ul = u.tolist()
+    vl = v.tolist()
+
+    def find(x: int) -> int:
+        while uf_parent[x] != x:
+            uf_parent[x] = uf_parent[uf_parent[x]]
+            x = uf_parent[x]
+        return x
+
+    for k in range(n - 1, -1, -1):  # ascending weight = descending index
+        a = ul[k]
+        b = vl[k]
+        for vertex in (a, b):
+            root = find(vertex)
+            r = last_merge[root]
+            if r != -1:
+                par[r] = k
+            else:
+                par[n + vertex] = k
+        ra, rb = find(a), find(b)
+        if uf_size[ra] < uf_size[rb]:
+            ra, rb = rb, ra
+        uf_parent[rb] = ra
+        uf_size[ra] += uf_size[rb]
+        last_merge[ra] = k
+    return parent
+
+
+def dendrogram_bottomup(u, v, w, n_vertices: int | None = None) -> Dendrogram:
+    """Single-linkage dendrogram via the sequential bottom-up baseline."""
+    edges = sort_edges_descending(u, v, w, n_vertices)
+    parent = bottomup_parents(edges.u, edges.v, edges.n_vertices)
+    return Dendrogram(edges=edges, parent=parent)

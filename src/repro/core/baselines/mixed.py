@@ -1,0 +1,130 @@
+"""Mixed top-down/bottom-up construction in the style of Wang et al. [46]
+(Section 2.3.3).
+
+The k heaviest edges (a configurable fraction, default a tenth) are removed
+top-down, splitting the MST into subtrees.  Each subtree's dendrogram is
+built bottom-up *independently* -- the parallel opportunity the approach
+offers -- and a top dendrogram over the removed edges (with subtrees
+contracted to supervertices) stitches everything together.
+
+Limitations reproduced faithfully: the split only helps if the heavy-edge
+removal balances subtree sizes; on highly skewed inputs one subtree keeps
+almost all edges, so the critical path stays near-sequential.  The
+``largest_fraction`` figure in :class:`MixedStats` exposes this imbalance for
+the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...parallel.connected import components_of_forest
+from ...structures.dendrogram import Dendrogram
+from ...structures.edgelist import sort_edges_descending
+from .bottomup import bottomup_parents
+
+__all__ = ["dendrogram_mixed", "MixedStats"]
+
+
+@dataclass
+class MixedStats:
+    """Shape of the mixed run: subtree count and imbalance."""
+
+    n_top_edges: int
+    n_subtrees: int
+    largest_subtree: int
+    n_edges: int
+
+    @property
+    def largest_fraction(self) -> float:
+        """Fraction of edges in the largest subtree: ~1.0 means no speedup."""
+        if self.n_edges == 0:
+            return 0.0
+        return self.largest_subtree / self.n_edges
+
+
+def dendrogram_mixed(
+    u, v, w, n_vertices: int | None = None, top_fraction: float = 0.1,
+    return_stats: bool = False,
+):
+    """Single-linkage dendrogram via the mixed split/stitch approach."""
+    if not (0.0 < top_fraction <= 1.0):
+        raise ValueError(f"top_fraction must be in (0, 1], got {top_fraction}")
+    edges = sort_edges_descending(u, v, w, n_vertices)
+    n, nv = edges.n_edges, edges.n_vertices
+    parent = np.full(n + nv, -1, dtype=np.int64)
+
+    if n == 0:
+        dend = Dendrogram(edges=edges, parent=parent)
+        stats = MixedStats(0, nv, 0, 0)
+        return (dend, stats) if return_stats else dend
+
+    k_top = max(1, int(round(n * top_fraction)))
+    light = np.stack([edges.u[k_top:], edges.v[k_top:]], axis=1)
+    labels, n_comp = components_of_forest(nv, light)
+
+    # --- per-subtree bottom-up (independent; parallel in the original) -----
+    comp_sizes = np.bincount(labels[edges.u[k_top:]], minlength=n_comp) if n > k_top \
+        else np.zeros(n_comp, dtype=np.int64)
+    order = np.argsort(labels[edges.u[k_top:]], kind="stable") if n > k_top else \
+        np.empty(0, dtype=np.int64)
+    comp_root_edge = np.full(n_comp, -1, dtype=np.int64)
+
+    offset = 0
+    for c in range(n_comp):
+        size = int(comp_sizes[c])
+        if size == 0:
+            continue
+        rows = order[offset: offset + size] + k_top  # global edge indices, asc
+        offset += size
+        # Relabel the subtree's vertices locally and run plain bottom-up.
+        su = edges.u[rows]
+        sv = edges.v[rows]
+        verts, inv = np.unique(np.concatenate([su, sv]), return_inverse=True)
+        lu = inv[: size]
+        lv = inv[size:]
+        local = bottomup_parents(lu, lv, verts.size)
+        # Map local parents back: local edge row r <-> global rows[r];
+        # local vertex t <-> global vertex verts[t].
+        lep = local[:size]
+        parent[rows] = np.where(lep >= 0, rows[lep], -1)
+        lvp = local[size:]
+        parent[n + verts] = np.where(lvp >= 0, rows[lvp], -1)
+        comp_root_edge[c] = rows[0]  # heaviest edge of the subtree
+
+    # --- top dendrogram over supervertices ---------------------------------
+    tu = labels[edges.u[:k_top]]
+    tv = labels[edges.v[:k_top]]
+    top = bottomup_parents(tu, tv, n_comp)
+    top_edge_parent = top[:k_top]
+    top_vertex_parent = top[k_top:]
+
+    parent[:k_top] = np.where(top_edge_parent >= 0, top_edge_parent, -1)
+
+    # --- stitch -------------------------------------------------------------
+    # Each subtree hangs from the top-dendrogram parent of its supervertex:
+    # at the subtree's root edge if it has edges, at the bare vertex if not.
+    rep_vertex = np.zeros(n_comp, dtype=np.int64)
+    rep_vertex[labels] = np.arange(nv, dtype=np.int64)
+    for c in range(n_comp):
+        attach = int(top_vertex_parent[c])
+        if attach < 0:
+            continue  # single-component degenerate case
+        root_edge = int(comp_root_edge[c])
+        if root_edge >= 0:
+            parent[root_edge] = attach
+        else:
+            parent[n + int(rep_vertex[c])] = attach
+
+    dend = Dendrogram(edges=edges, parent=parent)
+    if return_stats:
+        stats = MixedStats(
+            n_top_edges=k_top,
+            n_subtrees=n_comp,
+            largest_subtree=int(comp_sizes.max(initial=0)),
+            n_edges=n,
+        )
+        return dend, stats
+    return dend

@@ -1,0 +1,93 @@
+"""SLINK: Sibson's optimally-efficient sequential single linkage [41].
+
+The classical O(n^2)-time, O(n)-memory single-linkage algorithm, operating
+directly on points (no explicit MST).  It maintains the *pointer
+representation* of the dendrogram: for each point i, ``pi[i]`` is the
+lowest-indexed cluster it joins after its creation and ``lam[i]`` the merge
+height at which that happens.
+
+Included as the from-points reference path (the paper's Table 1 lists the
+sequential scikit-learn / R codes, which are SLINK descendants): tests use
+it to validate the whole MST->dendrogram stack against an algorithm that
+never builds a spanning tree at all.  The inner update is vectorized per
+row, so the n^2 distance work is NumPy-bound rather than Python-bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...parallel.machine import emit
+from ...parallel.unionfind import UnionFind
+
+__all__ = ["slink", "slink_linkage"]
+
+
+def slink(points: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Pointer representation ``(pi, lam)`` of the single-linkage dendrogram.
+
+    ``lam[i]`` is the height at which point i merges into cluster ``pi[i]``;
+    the last point has ``lam = inf``.
+    """
+    points = np.ascontiguousarray(points, dtype=np.float64)
+    n = points.shape[0]
+    if n == 0:
+        return np.zeros(0, dtype=np.int64), np.zeros(0)
+    pi = np.zeros(n, dtype=np.int64)
+    lam = np.full(n, np.inf)
+    m = np.empty(n)
+
+    for i in range(1, n):
+        # distances from point i to all previous points
+        diff = points[:i] - points[i]
+        m[:i] = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+        emit("slink.row", "map", i)
+        pi[i] = i
+        lam[i] = np.inf
+        # SLINK recurrences (Sibson 1973), vectorized where the data
+        # dependence allows; the j-loop carries a true dependence through
+        # m[pi[j]] so it stays sequential -- that is the point of the
+        # algorithm's inclusion here.
+        for j in range(i):
+            pj = pi[j]
+            if lam[j] >= m[j]:
+                if m[pj] > lam[j]:
+                    m[pj] = lam[j]
+                lam[j] = m[j]
+                pi[j] = i
+            else:
+                if m[pj] > m[j]:
+                    m[pj] = m[j]
+        relink = lam[:i] >= lam[pi[:i]]
+        pi[:i][relink] = i
+        emit("slink.relink", "map", i)
+    return pi, lam
+
+
+def slink_linkage(points: np.ndarray) -> np.ndarray:
+    """SciPy-style linkage matrix from the SLINK pointer representation.
+
+    Merges are replayed in ascending ``lam`` order with a union-find mapping
+    pointer pairs to scipy cluster ids.
+    """
+    pi, lam = slink(points)
+    n = pi.size
+    if n < 2:
+        return np.zeros((0, 4))
+    order = np.argsort(lam[:-1], kind="stable")
+    Z = np.zeros((n - 1, 4))
+    uf = UnionFind(n)
+    cluster_id = np.arange(n, dtype=np.int64)
+    size = np.ones(n, dtype=np.int64)
+    for t, j in enumerate(order):
+        a = uf.find(int(j))
+        b = uf.find(int(pi[j]))
+        ca, cb = cluster_id[a], cluster_id[b]
+        s = size[a] + size[b]
+        Z[t, 0], Z[t, 1] = min(ca, cb), max(ca, cb)
+        Z[t, 2] = lam[j]
+        Z[t, 3] = s
+        r = uf.union(a, b)
+        cluster_id[r] = n + t
+        size[r] = s
+    return Z

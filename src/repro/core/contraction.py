@@ -1,0 +1,142 @@
+"""Recursive tree contraction (Section 3.2).
+
+Each level takes the current tree, classifies its edges with Eq. 2, and
+contracts the non-alpha edges: the forest they form collapses into
+supervertices (connected components), and the alpha-edges -- with endpoints
+relabeled to supervertex ids -- become the next, at-least-halved tree
+(``n_alpha <= (n-1)/2``, Section 4.2).  Contraction stops when no alpha-edge
+remains; that final tree's dendrogram is a single sorted chain.
+
+What is kept per level is exactly what the expansion pass (Section 3.3)
+needs:
+
+* ``idx``          -- global sorted indices of this level's edges (ascending);
+* ``u, v``         -- endpoints in this level's vertex labels;
+* ``max_inc``      -- ``maxIncident`` of this level's tree (global indices);
+* ``alpha``        -- the alpha mask;
+* ``vmap``         -- this level's vertex -> next level's supervertex
+                      (``None`` on the last level).
+
+The endpoint pair order (u, v) is preserved across levels so that the
+"side" of an anchor edge has a consistent meaning at every level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..parallel.connected import components_of_forest
+from ..parallel.machine import emit
+from .alpha import alpha_mask, max_incident
+
+__all__ = ["ContractionLevel", "contract_multilevel", "max_contraction_levels"]
+
+
+@dataclass
+class ContractionLevel:
+    """One tree in the contraction hierarchy (T_0 is the input MST)."""
+
+    idx: np.ndarray        # (m,) global edge indices, strictly ascending
+    u: np.ndarray          # (m,) endpoints in this level's labels
+    v: np.ndarray
+    n_vertices: int
+    max_inc: np.ndarray    # (n_vertices,) maxIncident as *global* edge index
+    alpha: np.ndarray      # (m,) bool
+    vmap: np.ndarray | None = None  # (n_vertices,) -> next level supervertex
+
+    @property
+    def n_edges(self) -> int:
+        return int(self.idx.size)
+
+    @property
+    def n_alpha(self) -> int:
+        return int(self.alpha.sum())
+
+    def row_of(self, global_idx: np.ndarray) -> np.ndarray:
+        """Rows of the given global edge indices in this level's arrays.
+
+        ``idx`` is ascending, so a binary search suffices.  Caller must pass
+        indices that exist at this level.
+        """
+        rows = np.searchsorted(self.idx, global_idx)
+        emit("contract.row_of", "gather", int(np.size(global_idx)))
+        return rows
+
+
+def _classify(
+    idx: np.ndarray, u: np.ndarray, v: np.ndarray, n_vertices: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """(max_inc in global indices, alpha mask) for one level's tree."""
+    max_inc = max_incident(n_vertices, u, v, idx)
+    mask = alpha_mask(max_inc, u, v, idx)
+    return max_inc, mask
+
+
+def contract_multilevel(
+    u: np.ndarray, v: np.ndarray, n_vertices: int, max_levels: int | None = None
+) -> list[ContractionLevel]:
+    """Build the full contraction hierarchy for a canonically-sorted tree.
+
+    Parameters
+    ----------
+    u, v:
+        Tree edges in canonical (descending weight) order; row k is global
+        edge index k.
+    n_vertices:
+        Vertex count of the input tree.
+    max_levels:
+        Optional cap on the number of *contractions* performed (used by the
+        single-level ablation).  ``None`` contracts until no alpha-edges
+        remain.
+
+    Returns
+    -------
+    Levels ``[T_0, T_1, ..., T_L]``; every level except the last has a
+    ``vmap``.  The last level either has no alpha-edges or the level cap was
+    reached.
+    """
+    m = int(u.size)
+    idx = np.arange(m, dtype=np.int64)
+    u = np.asarray(u, dtype=np.int64)
+    v = np.asarray(v, dtype=np.int64)
+
+    levels: list[ContractionLevel] = []
+    while True:
+        max_inc, mask = _classify(idx, u, v, n_vertices)
+        level = ContractionLevel(
+            idx=idx, u=u, v=v, n_vertices=n_vertices, max_inc=max_inc, alpha=mask
+        )
+        levels.append(level)
+        n_alpha = level.n_alpha
+        if n_alpha == 0:
+            break
+        if max_levels is not None and len(levels) > max_levels:
+            break
+        # Work-optimality guard (Section 4.2): the contracted tree must be at
+        # most half the size, or the recursion depth bound would break.
+        if n_alpha > (level.n_edges - 1) / 2:
+            raise AssertionError(
+                f"alpha-edge bound violated: {n_alpha} > ({level.n_edges}-1)/2; "
+                "the input is not a tree in canonical order"
+            )
+        non_alpha = ~mask
+        contracted = np.stack([u[non_alpha], v[non_alpha]], axis=1)
+        vmap, k = components_of_forest(n_vertices, contracted)
+        level.vmap = vmap
+        emit("contract.relabel_edges", "gather", 2 * n_alpha)
+        idx = idx[mask]
+        u = vmap[u[mask]]
+        v = vmap[v[mask]]
+        n_vertices = k
+    return levels
+
+
+def max_contraction_levels(n_edges: int) -> int:
+    """Upper bound on contraction levels: ceil(log2(n+1)) (Section 4.2)."""
+    import math
+
+    if n_edges <= 0:
+        return 0
+    return math.ceil(math.log2(n_edges + 1))

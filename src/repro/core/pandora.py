@@ -1,0 +1,211 @@
+"""PANDORA driver: the full tree-contraction dendrogram algorithm.
+
+Pipeline (Algorithm 3 + Sections 3.2/3.3):
+
+1. **sort** -- canonical edge sort (descending weight, ties by input id) and,
+   at the end, the chain sort.  The paper's phase accounting groups the
+   initial and final sorts together and Figure 13 shows this phase dominating
+   on CPUs; we follow the same attribution.
+2. **contraction** -- multilevel alpha-contraction (``contract_multilevel``).
+3. **expansion** -- per-edge leaf-chain assignment over the levels and chain
+   stitching into the final parent array.
+
+``pandora()`` returns the :class:`~repro.structures.dendrogram.Dendrogram`
+plus a :class:`PandoraStats` with wall-clock phase times and hierarchy
+statistics; pass a :class:`~repro.parallel.machine.CostModel` to also capture
+the kernel trace for device-model pricing.
+
+``dendrogram_single_level()`` is the Section-3.3.1 ablation (one contraction
+level, bottom-up walks in the contracted dendrogram).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..parallel.machine import CostModel, active_model, tracking
+from ..structures.dendrogram import Dendrogram
+from ..structures.edgelist import sort_edges_descending
+from .contraction import contract_multilevel, max_contraction_levels
+from .expansion import assign_chains, expand_single_level, stitch_chains
+
+__all__ = ["PandoraStats", "pandora", "pandora_parents", "dendrogram_single_level"]
+
+
+@dataclass
+class PandoraStats:
+    """Run statistics: phase wall times and contraction hierarchy shape."""
+
+    n_edges: int
+    n_vertices: int
+    n_levels: int = 0
+    level_sizes: list[int] = field(default_factory=list)
+    alpha_counts: list[int] = field(default_factory=list)
+    n_root_chain: int = 0
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.phase_seconds.values())
+
+    def check_bounds(self) -> None:
+        """Assert the Section-4.2 work-optimality bounds on this run."""
+        bound = max_contraction_levels(self.n_edges)
+        if self.n_levels - 1 > bound:
+            raise AssertionError(
+                f"{self.n_levels - 1} contractions exceed the "
+                f"ceil(log2(n+1)) = {bound} bound"
+            )
+        for size, n_alpha in zip(self.level_sizes, self.alpha_counts):
+            if size > 0 and n_alpha > (size - 1) / 2:
+                raise AssertionError(
+                    f"alpha count {n_alpha} exceeds (n-1)/2 for level size {size}"
+                )
+
+
+def pandora(
+    u,
+    v,
+    w,
+    n_vertices: int | None = None,
+    cost_model: CostModel | None = None,
+) -> tuple[Dendrogram, PandoraStats]:
+    """Construct the single-linkage dendrogram of an MST with PANDORA.
+
+    Parameters
+    ----------
+    u, v, w:
+        MST edges (any order) as endpoint and weight arrays.
+    n_vertices:
+        Ambient vertex count; inferred from the endpoints when omitted.
+    cost_model:
+        Optional :class:`CostModel` that receives the kernel trace, tagged
+        with phases ``sort`` / ``contraction`` / ``expansion``.
+
+    Returns
+    -------
+    (dendrogram, stats)
+    """
+    if cost_model is None:
+        if active_model() is not None:
+            # An enclosing tracking() context exists: record into it.
+            return _run(u, v, w, n_vertices)
+        cost_model = _NULL_MODEL
+    with tracking(cost_model):
+        return _run(u, v, w, n_vertices)
+
+
+_NULL_MODEL = CostModel()  # throwaway sink so phases can always be tagged
+
+
+def _run(u, v, w, n_vertices: int | None) -> tuple[Dendrogram, PandoraStats]:
+    model = active_model()
+    assert model is not None
+    phases: dict[str, float] = {}
+
+    t0 = time.perf_counter()
+    with model.phase("sort"):
+        edges = sort_edges_descending(u, v, w, n_vertices)
+    phases["sort"] = time.perf_counter() - t0
+
+    stats = PandoraStats(n_edges=edges.n_edges, n_vertices=edges.n_vertices)
+
+    t0 = time.perf_counter()
+    with model.phase("contraction"):
+        levels = contract_multilevel(edges.u, edges.v, edges.n_vertices)
+    phases["contraction"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    with model.phase("expansion"):
+        assignment = assign_chains(levels)
+    t_assign = time.perf_counter() - t0
+
+    # The chain sort is attributed to the sort phase (paper Section 6.4.3:
+    # "Sorting (includes both initial and final sort ...)").
+    t0 = time.perf_counter()
+    with model.phase("sort"):
+        parent = stitch_chains(
+            assignment, edges.n_edges, edges.n_vertices, levels[0].max_inc
+        )
+    phases["sort"] += time.perf_counter() - t0
+    phases["expansion"] = t_assign
+
+    stats.n_levels = len(levels)
+    stats.level_sizes = [lv.n_edges for lv in levels]
+    stats.alpha_counts = [lv.n_alpha for lv in levels]
+    stats.n_root_chain = assignment.n_root_chain
+    stats.phase_seconds = phases
+
+    _NULL_MODEL.clear()
+    return Dendrogram(edges=edges, parent=parent), stats
+
+
+def pandora_parents(
+    u: np.ndarray, v: np.ndarray, n_vertices: int
+) -> np.ndarray:
+    """PANDORA on an already canonically-sorted tree; returns parents only.
+
+    Row k is edge index k.  Used for recursive invocations on contracted
+    trees, where weights are implied by the (preserved) index order.
+    """
+    levels = contract_multilevel(
+        np.asarray(u, dtype=np.int64), np.asarray(v, dtype=np.int64), n_vertices
+    )
+    assignment = assign_chains(levels)
+    return stitch_chains(assignment, len(u), n_vertices, levels[0].max_inc)
+
+
+def dendrogram_single_level(
+    u, v, w, n_vertices: int | None = None
+) -> tuple[Dendrogram, PandoraStats]:
+    """Ablation: PANDORA with a single contraction level (Section 3.3.1).
+
+    The contracted dendrogram is built exactly (with the multilevel
+    algorithm), but every contracted edge finds its chain by walking that
+    dendrogram bottom-up -- the Theta(n * h_alpha) scheme of Figure 10.
+    Produces the identical dendrogram; exists to measure the cost gap.
+    """
+    model = active_model() or _NULL_MODEL
+    phases: dict[str, float] = {}
+
+    t0 = time.perf_counter()
+    with model.phase("sort"):
+        edges = sort_edges_descending(u, v, w, n_vertices)
+    phases["sort"] = time.perf_counter() - t0
+
+    stats = PandoraStats(n_edges=edges.n_edges, n_vertices=edges.n_vertices)
+
+    t0 = time.perf_counter()
+    with model.phase("contraction"):
+        levels = contract_multilevel(edges.u, edges.v, edges.n_vertices, max_levels=1)
+    phases["contraction"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    with model.phase("expansion"):
+        if len(levels) == 1:
+            # No alpha-edges: the dendrogram is one sorted chain.
+            n, nv = edges.n_edges, edges.n_vertices
+            parent = np.full(n + nv, -1, dtype=np.int64)
+            parent[n:] = levels[0].max_inc
+            if n > 1:
+                parent[1:n] = np.arange(n - 1)
+        else:
+            t_0, t_1 = levels[0], levels[1]
+            # Contracted dendrogram of T_1 (computed exactly, then walked).
+            local = pandora_parents(t_1.u, t_1.v, t_1.n_vertices)
+            local_edge_parent = local[: t_1.n_edges]
+            alpha_edge_parent = np.where(
+                local_edge_parent >= 0, t_1.idx[local_edge_parent], -1
+            )
+            parent = expand_single_level(t_0, t_1, alpha_edge_parent, t_1.max_inc)
+    phases["expansion"] = time.perf_counter() - t0
+
+    stats.n_levels = len(levels)
+    stats.level_sizes = [lv.n_edges for lv in levels]
+    stats.alpha_counts = [lv.n_alpha for lv in levels]
+    stats.phase_seconds = phases
+    _NULL_MODEL.clear()
+    return Dendrogram(edges=edges, parent=parent), stats

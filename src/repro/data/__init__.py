@@ -1,0 +1,28 @@
+"""Synthetic dataset proxies for the paper's Table-2 workloads."""
+
+from .cosmology import hacc_like, soneira_peebles
+from .registry import DATASETS, DatasetSpec, dataset_names, load_dataset
+from .sensors import farm_like, household_like, pamap_like
+from .synthetic import blobs, normal, uniform
+from .trajectories import ngsim_like, road_network_like
+from .visual import random_walk_clusters, visual_sim, visual_var
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "load_dataset",
+    "dataset_names",
+    "normal",
+    "uniform",
+    "blobs",
+    "hacc_like",
+    "soneira_peebles",
+    "visual_var",
+    "visual_sim",
+    "random_walk_clusters",
+    "ngsim_like",
+    "road_network_like",
+    "pamap_like",
+    "farm_like",
+    "household_like",
+]

@@ -1,0 +1,70 @@
+"""HACC cosmology proxy: a Soneira-Peebles hierarchical clustering model.
+
+The paper's flagship datasets (Hacc37M / Hacc497M) are N-body simulation
+particle snapshots -- deeply hierarchically clustered matter with power-law
+correlation, which is exactly what makes their dendrograms extremely skewed
+(Table 2 lists imbalance 1e5-6e5).  The Soneira-Peebles construction [1978]
+is the classical synthetic stand-in: recursively place ``eta`` child spheres
+of radius ``r / lam`` inside each sphere, keep the deepest level's centers as
+particles, and superpose a small uniform background.  It reproduces the
+fractal density contrast that drives dendrogram skew, which is the property
+the dendrogram benchmarks depend on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["soneira_peebles", "hacc_like"]
+
+
+def soneira_peebles(
+    n: int,
+    dim: int = 3,
+    eta: int = 4,
+    lam: float = 2.2,
+    seed: int = 0,
+    box: float = 1000.0,
+) -> np.ndarray:
+    """~``n`` points from a multi-seeded Soneira-Peebles hierarchy.
+
+    Levels are chosen so ``n_seeds * eta**levels ~ n``; actual output is
+    trimmed/padded (with uniform points) to exactly ``n``.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    rng = np.random.default_rng(seed)
+    n_seeds = max(4, int(round(n ** 0.25)))
+    levels = max(1, int(np.ceil(np.log(max(n / n_seeds, 1.0)) / np.log(eta))))
+
+    centers = rng.uniform(0, box, size=(n_seeds, dim))
+    radius = box / 8.0
+    for _ in range(levels):
+        offsets = rng.normal(size=(centers.shape[0], eta, dim))
+        norms = np.linalg.norm(offsets, axis=2, keepdims=True)
+        norms[norms == 0] = 1.0
+        # uniform direction, radius**dim-uniform magnitude inside the sphere
+        mags = radius * rng.random((centers.shape[0], eta, 1)) ** (1.0 / dim)
+        centers = (centers[:, None, :] + offsets / norms * mags).reshape(-1, dim)
+        radius /= lam
+
+    if centers.shape[0] >= n:
+        sel = rng.choice(centers.shape[0], size=n, replace=False)
+        return centers[sel]
+    pad = rng.uniform(0, box, size=(n - centers.shape[0], dim))
+    return np.concatenate([centers, pad])
+
+
+def hacc_like(n: int, dim: int = 3, seed: int = 0) -> np.ndarray:
+    """HACC particle snapshot proxy: 90% hierarchical + 10% uniform field.
+
+    The uniform fraction models the diffuse background between halos; the
+    hierarchical component models the halos themselves.
+    """
+    rng = np.random.default_rng(seed)
+    n_bg = n // 10
+    n_cl = n - n_bg
+    clustered = soneira_peebles(n_cl, dim=dim, seed=seed)
+    background = rng.uniform(0, 1000.0, size=(n_bg, dim))
+    pts = np.concatenate([clustered, background])
+    return pts[rng.permutation(n)]

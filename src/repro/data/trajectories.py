@@ -1,0 +1,67 @@
+"""GPS / road-network dataset proxies (NGSIM, RoadNetwork rows of Table 2).
+
+``ngsim_like`` mimics vehicle-trajectory GPS points: a few lane centerlines
+(smooth curves), vehicles strung densely along them with lane offsets and GPS
+noise, plus stop-and-go clumping near intersections.  ``road_network_like``
+mimics road-network vertex coordinates: a jittered grid of streets with
+power-law block occupancy.  Both produce the filament-heavy geometry that
+gives transportation datasets their characteristic dendrogram skew.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ngsim_like", "road_network_like"]
+
+
+def ngsim_like(
+    n: int, seed: int = 0, n_roads: int = 6, n_intersections: int = 8
+) -> np.ndarray:
+    """2-D GPS-like points along noisy lane curves with congestion clumps."""
+    rng = np.random.default_rng(seed)
+    per_road = np.full(n_roads, n // n_roads)
+    per_road[: n % n_roads] += 1
+    parts = []
+    for r in range(n_roads):
+        m = int(per_road[r])
+        if m == 0:
+            continue
+        # congestion: a squashed-progress profile concentrates points near
+        # randomly placed "intersections" along the road
+        t = np.sort(rng.random(m))
+        for _ in range(n_intersections // 2):
+            c = rng.random()
+            t = t + 0.08 * (c - t) * np.exp(-((t - c) ** 2) / 0.002)
+        # smooth centerline: random sine mixture
+        a = rng.normal(size=3)
+        b = rng.normal(size=3)
+        freq = rng.uniform(1, 4, size=3)
+        x = t * 4000.0
+        y = (a * np.sin(np.outer(t, freq) * 2 * np.pi)
+             + b * np.cos(np.outer(t, freq) * np.pi)).sum(axis=1) * 150.0
+        y += r * 900.0
+        lane = rng.integers(0, 3, size=m) * 3.7  # lane offsets
+        gps = rng.normal(scale=1.5, size=(m, 2))
+        parts.append(np.stack([x, y + lane], axis=1) + gps)
+    pts = np.concatenate(parts)
+    return pts[rng.permutation(pts.shape[0])]
+
+
+def road_network_like(n: int, seed: int = 0, grid: int = 24) -> np.ndarray:
+    """2-D road-network vertices: jittered street grid, uneven occupancy."""
+    rng = np.random.default_rng(seed)
+    # power-law weights over streets: a few arterials hold most vertices
+    streets_h = rng.pareto(1.5, size=grid) + 0.1
+    streets_v = rng.pareto(1.5, size=grid) + 0.1
+    weights = np.concatenate([streets_h, streets_v])
+    weights /= weights.sum()
+    which = rng.choice(2 * grid, size=n, p=weights)
+    along = rng.random(n) * 10_000.0
+    coord = (which % grid) * (10_000.0 / grid) + rng.normal(scale=20.0, size=n)
+    pts = np.where(
+        (which < grid)[:, None],
+        np.stack([along, coord], axis=1),
+        np.stack([coord, along], axis=1),
+    )
+    return pts

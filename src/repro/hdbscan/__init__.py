@@ -1,0 +1,22 @@
+"""HDBSCAN* pipeline: condensed tree, stability selection, labels, FoF."""
+
+from .condensed import CondensedTree, condense_tree
+from .dbscan import dbscan_star_labels
+from .fof import FoFCatalog, friends_of_friends
+from .labels import FlatClustering, extract_labels
+from .pipeline import DENDROGRAM_ALGORITHMS, HDBSCANResult, hdbscan
+from .stability import select_clusters
+
+__all__ = [
+    "hdbscan",
+    "HDBSCANResult",
+    "DENDROGRAM_ALGORITHMS",
+    "condense_tree",
+    "dbscan_star_labels",
+    "CondensedTree",
+    "select_clusters",
+    "extract_labels",
+    "FlatClustering",
+    "friends_of_friends",
+    "FoFCatalog",
+]

@@ -1,0 +1,187 @@
+"""Condensed cluster tree (the HDBSCAN* hierarchy simplification).
+
+The single-linkage dendrogram has one internal node per MST edge; HDBSCAN*
+[9] *condenses* it with a minimum cluster size ``m``: walking top-down, a
+split is **real** only when both sides keep at least ``m`` points.  Otherwise
+the points of the small side "fall out" of the current cluster at that
+split's density ``lambda = 1 / distance``, and the cluster continues through
+the big side.  The result is a much smaller tree whose nodes are clusters and
+whose leaf records are (point, lambda) fall-outs -- the input to stability
+computation and flat-cluster extraction.
+
+The walk touches each dendrogram node a bounded number of times: every point
+falls out exactly once, and subtree enumeration only happens on the *small*
+side of a split, so total work is O(n log n) in the worst case and O(n) on
+the skewed hierarchies the paper targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..structures.dendrogram import Dendrogram
+
+__all__ = ["CondensedTree", "condense_tree"]
+
+
+@dataclass
+class CondensedTree:
+    """Cluster hierarchy with per-point fall-out records.
+
+    Clusters are numbered in creation (BFS) order; cluster 0 is the root
+    (all points).  ``point_cluster/point_lambda`` record, for every data
+    point, the cluster it fell out of and at which lambda.
+    """
+
+    n_points: int
+    min_cluster_size: int
+    # per cluster:
+    cluster_parent: np.ndarray   # (n_clusters,), -1 for root
+    birth_lambda: np.ndarray     # (n_clusters,)
+    death_lambda: np.ndarray     # (n_clusters,) lambda at split/termination
+    cluster_size: np.ndarray     # (n_clusters,) points at birth
+    # per point:
+    point_cluster: np.ndarray    # (n_points,)
+    point_lambda: np.ndarray     # (n_points,)
+
+    @property
+    def n_clusters(self) -> int:
+        return int(self.cluster_parent.size)
+
+    def children_of(self, c: int) -> np.ndarray:
+        return np.nonzero(self.cluster_parent == c)[0]
+
+    def stabilities(self) -> np.ndarray:
+        """Excess-of-mass stability per cluster.
+
+        stability(c) = sum over points falling out of c of
+        (lambda_p - birth(c)), plus for each child cluster
+        size * (birth(child) - birth(c)).  Infinite lambdas (duplicate
+        points, distance 0) are clipped to the largest finite value.
+        """
+        lam_pts = self.point_lambda
+        finite = lam_pts[np.isfinite(lam_pts)]
+        cap = finite.max() if finite.size else 1.0
+        lam_pts = np.minimum(lam_pts, cap)
+        birth = np.minimum(self.birth_lambda, cap)
+
+        stab = np.zeros(self.n_clusters)
+        np.add.at(stab, self.point_cluster, lam_pts - birth[self.point_cluster])
+        child = np.nonzero(self.cluster_parent >= 0)[0]
+        if child.size:
+            pc = self.cluster_parent[child]
+            contrib = self.cluster_size[child] * (
+                np.minimum(self.birth_lambda[child], cap) - birth[pc]
+            )
+            np.add.at(stab, pc, contrib)
+        return stab
+
+
+def condense_tree(dendrogram: Dendrogram, min_cluster_size: int) -> CondensedTree:
+    """Condense a single-linkage dendrogram (see module docstring)."""
+    if min_cluster_size < 2:
+        raise ValueError(
+            f"min_cluster_size must be >= 2, got {min_cluster_size}"
+        )
+    n = dendrogram.n_edges
+    nv = dendrogram.n_vertices
+    m = min_cluster_size
+
+    point_cluster = np.zeros(nv, dtype=np.int64)
+    point_lambda = np.zeros(nv)
+
+    if n == 0:
+        return CondensedTree(
+            n_points=nv,
+            min_cluster_size=m,
+            cluster_parent=np.array([-1], dtype=np.int64),
+            birth_lambda=np.zeros(1),
+            death_lambda=np.zeros(1),
+            cluster_size=np.array([nv], dtype=np.int64),
+            point_cluster=point_cluster,
+            point_lambda=point_lambda,
+        )
+
+    w = dendrogram.edges.w
+    with np.errstate(divide="ignore"):
+        lam = np.where(w > 0, 1.0 / w, np.inf)
+
+    # children of each edge node (exactly two; vertex nodes are n..n+nv-1)
+    child_a = np.full(n, -1, dtype=np.int64)
+    child_b = np.full(n, -1, dtype=np.int64)
+    pr = dendrogram.parent
+    order = np.argsort(pr[1:], kind="stable") + 1  # skip the root (parent -1)
+    sp = pr[order]
+    # order is grouped by parent; each parent owns exactly two consecutive ids
+    child_a[sp[0::2]] = order[0::2]
+    child_b[sp[1::2]] = order[1::2]
+
+    sizes_edge = dendrogram.subtree_sizes()
+
+    def size_of(node: int) -> int:
+        return int(sizes_edge[node]) if node < n else 1
+
+    def points_under(node: int) -> list[int]:
+        """All data points in the dendrogram subtree of ``node``."""
+        out: list[int] = []
+        stack = [node]
+        while stack:
+            x = stack.pop()
+            if x >= n:
+                out.append(x - n)
+            else:
+                stack.append(int(child_a[x]))
+                stack.append(int(child_b[x]))
+        return out
+
+    cluster_parent: list[int] = [-1]
+    birth_lambda: list[float] = [0.0]
+    death_lambda: list[float] = [0.0]
+    cluster_size: list[int] = [nv]
+
+    def fall_out(node: int, cluster: int, lam_val: float) -> None:
+        for p in points_under(node):
+            point_cluster[p] = cluster
+            point_lambda[p] = lam_val
+
+    # BFS over (edge node, owning cluster)
+    queue: list[tuple[int, int]] = [(dendrogram.root, 0)]
+    while queue:
+        cur, c = queue.pop()
+        while True:
+            l = float(lam[cur])
+            ca, cb = int(child_a[cur]), int(child_b[cur])
+            sa, sb = size_of(ca), size_of(cb)
+            if sa >= m and sb >= m:
+                death_lambda[c] = l
+                for ch, s in ((ca, sa), (cb, sb)):
+                    cid = len(cluster_parent)
+                    cluster_parent.append(c)
+                    birth_lambda.append(l)
+                    death_lambda.append(l)  # updated when it dies
+                    cluster_size.append(s)
+                    queue.append((ch, cid))
+                break
+            if sa >= m or sb >= m:
+                small, big = (cb, ca) if sa >= m else (ca, cb)
+                fall_out(small, c, l)
+                cur = big  # size >= m >= 2, necessarily an edge node
+                continue
+            # both sides below m: the cluster dissolves here
+            fall_out(ca, c, l)
+            fall_out(cb, c, l)
+            death_lambda[c] = l
+            break
+
+    return CondensedTree(
+        n_points=nv,
+        min_cluster_size=m,
+        cluster_parent=np.asarray(cluster_parent, dtype=np.int64),
+        birth_lambda=np.asarray(birth_lambda),
+        death_lambda=np.asarray(death_lambda),
+        cluster_size=np.asarray(cluster_size, dtype=np.int64),
+        point_cluster=point_cluster,
+        point_lambda=point_lambda,
+    )

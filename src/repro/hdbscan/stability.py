@@ -1,0 +1,62 @@
+"""Cluster selection by excess of mass (HDBSCAN* flat extraction).
+
+Given the condensed tree and per-cluster stabilities, select the
+non-overlapping set of clusters maximizing total stability: process clusters
+bottom-up, keeping a cluster if its own stability beats the combined
+stability of its selected descendants, otherwise propagating the
+descendants' total upward.  The root is excluded unless
+``allow_single_cluster`` (matching the reference implementation's default).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .condensed import CondensedTree
+
+__all__ = ["select_clusters"]
+
+
+def select_clusters(
+    tree: CondensedTree, allow_single_cluster: bool = False
+) -> np.ndarray:
+    """Boolean selection mask over the condensed tree's clusters."""
+    ncl = tree.n_clusters
+    stab = tree.stabilities()
+    parent = tree.cluster_parent
+
+    selected = np.zeros(ncl, dtype=bool)
+    subtree_val = np.zeros(ncl)
+
+    is_leaf = np.ones(ncl, dtype=bool)
+    valid = parent >= 0
+    is_leaf[parent[valid]] = False
+
+    # Children are always created after parents, so reverse id order is
+    # bottom-up.
+    child_sum = np.zeros(ncl)
+    for c in range(ncl - 1, -1, -1):
+        if is_leaf[c]:
+            selected[c] = True
+            subtree_val[c] = stab[c]
+        elif stab[c] >= child_sum[c]:
+            selected[c] = True
+            subtree_val[c] = stab[c]
+        else:
+            selected[c] = False
+            subtree_val[c] = child_sum[c]
+        p = parent[c]
+        if p >= 0:
+            child_sum[p] += subtree_val[c]
+
+    if not allow_single_cluster:
+        selected[0] = False
+
+    # Drop any cluster with a selected ancestor (top-down pass; parents have
+    # smaller ids).
+    has_selected_ancestor = np.zeros(ncl, dtype=bool)
+    for c in range(1, ncl):
+        p = parent[c]
+        has_selected_ancestor[c] = has_selected_ancestor[p] or selected[p]
+    selected &= ~has_selected_ancestor
+    return selected

@@ -1,0 +1,14 @@
+"""Minimum-spanning-tree substrates: Kruskal, Prim, and parallel Boruvka."""
+
+from .boruvka import mst_boruvka
+from .kruskal import mst_kruskal
+from .prim import mst_prim
+from .validate import mst_total_weight_scipy, verify_mst
+
+__all__ = [
+    "mst_kruskal",
+    "mst_prim",
+    "mst_boruvka",
+    "verify_mst",
+    "mst_total_weight_scipy",
+]

@@ -1,0 +1,52 @@
+"""Kruskal's MST algorithm (sort + sequential union-find).
+
+The textbook O(m log m) construction: sort all edges ascending and take each
+edge that joins two distinct components.  Sequential by nature -- the
+union-find baseline's graph-side sibling -- and the reference implementation
+the parallel Boruvka variant is verified against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..parallel.unionfind import UnionFind
+from ..structures.edgelist import as_edge_arrays
+
+__all__ = ["mst_kruskal"]
+
+
+def mst_kruskal(
+    n_vertices: int, u, v, w
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Minimum spanning forest of an undirected weighted graph.
+
+    Parameters
+    ----------
+    n_vertices:
+        Vertex count (ids ``0..n_vertices-1``).
+    u, v, w:
+        Edge arrays; parallel edges and any order are fine.
+
+    Returns
+    -------
+    ``(mu, mv, mw)`` -- the forest's edges, in the order chosen (ascending
+    weight).  For a connected graph this has ``n_vertices - 1`` edges.
+
+    Ties are broken by input edge id, matching the canonical total order used
+    everywhere else, so MSTs are unique and comparable across algorithms.
+    """
+    u, v, w = as_edge_arrays(u, v, w)
+    ids = np.arange(u.size, dtype=np.int64)
+    order = np.lexsort((ids, w))
+    uf = UnionFind(n_vertices)
+    keep: list[int] = []
+    for k in order:
+        a, b = int(u[k]), int(v[k])
+        if uf.find(a) != uf.find(b):
+            uf.union(a, b)
+            keep.append(int(k))
+            if uf.n_components == 1:
+                break
+    sel = np.asarray(keep, dtype=np.int64)
+    return u[sel], v[sel], w[sel]

@@ -1,0 +1,55 @@
+"""Prim's MST algorithm (lazy binary heap).
+
+O(m log m) with a lazy-deletion heap; sequential.  Kept as an independent
+second reference so MST tests triangulate Kruskal/Boruvka against a
+different algorithmic family.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..structures.edgelist import as_edge_arrays
+
+__all__ = ["mst_prim"]
+
+
+def mst_prim(
+    n_vertices: int, u, v, w
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Minimum spanning tree of a *connected* undirected weighted graph.
+
+    Raises ``ValueError`` if the graph is disconnected (unlike Kruskal,
+    which returns a forest).  Tie-breaking is by input edge id, matching the
+    canonical order.
+    """
+    u, v, w = as_edge_arrays(u, v, w)
+    if n_vertices == 0:
+        return u[:0], v[:0], w[:0]
+
+    adj: list[list[tuple[float, int, int]]] = [[] for _ in range(n_vertices)]
+    for k in range(u.size):
+        a, b = int(u[k]), int(v[k])
+        adj[a].append((float(w[k]), k, b))
+        adj[b].append((float(w[k]), k, a))
+
+    in_tree = np.zeros(n_vertices, dtype=bool)
+    in_tree[0] = True
+    heap: list[tuple[float, int, int]] = list(adj[0])
+    heapq.heapify(heap)
+    chosen: list[int] = []
+    while heap and len(chosen) < n_vertices - 1:
+        wt, k, b = heapq.heappop(heap)
+        if in_tree[b]:
+            continue
+        in_tree[b] = True
+        chosen.append(k)
+        for item in adj[b]:
+            if not in_tree[item[2]]:
+                heapq.heappush(heap, item)
+    if len(chosen) != n_vertices - 1:
+        raise ValueError("graph is disconnected; Prim requires connectivity")
+    sel = np.asarray(chosen, dtype=np.int64)
+    return u[sel], v[sel], w[sel]

@@ -1,0 +1,66 @@
+"""MST validation helpers.
+
+``verify_mst`` checks a claimed spanning tree against the cycle property
+(every non-tree edge must be at least as heavy as the heaviest tree edge on
+the cycle it closes) plus total-weight equality with SciPy's reference
+implementation.  Used by tests and by the EMST module's self-check mode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.sparse import coo_matrix
+from scipy.sparse.csgraph import minimum_spanning_tree as scipy_mst
+
+from ..structures.tree import is_tree
+
+__all__ = ["verify_mst", "mst_total_weight_scipy"]
+
+
+def mst_total_weight_scipy(n_vertices: int, u, v, w) -> float:
+    """Total MST weight of a graph, per scipy.sparse.csgraph (reference).
+
+    Parallel edges are collapsed to their minimum weight first --
+    ``coo_matrix`` would otherwise *sum* duplicates, changing the graph.
+    """
+    u = np.asarray(u, dtype=np.int64)
+    v = np.asarray(v, dtype=np.int64)
+    w = np.asarray(w, dtype=np.float64)
+    lo = np.minimum(u, v)
+    hi = np.maximum(u, v)
+    key = lo * np.int64(n_vertices) + hi
+    order = np.lexsort((w, key))
+    key, w2 = key[order], w[order]
+    first = np.ones(key.size, dtype=bool)
+    first[1:] = key[1:] != key[:-1]
+    lo2 = lo[order][first]
+    hi2 = hi[order][first]
+    w2 = w2[first]
+    g = coo_matrix((w2, (lo2, hi2)), shape=(n_vertices, n_vertices))
+    t = scipy_mst(g)
+    return float(t.sum())
+
+
+def verify_mst(
+    n_vertices: int,
+    graph_u, graph_v, graph_w,
+    tree_u, tree_v, tree_w,
+    rtol: float = 1e-9,
+) -> None:
+    """Raise ``AssertionError`` if the tree is not an MST of the graph.
+
+    Checks: (a) it is a spanning tree, (b) its total weight matches SciPy's
+    MST total weight.  With distinct weights (our generators guarantee this)
+    weight equality implies the trees are identical.
+    """
+    tree_u = np.asarray(tree_u, dtype=np.int64)
+    tree_v = np.asarray(tree_v, dtype=np.int64)
+    tree_w = np.asarray(tree_w, dtype=np.float64)
+    if not is_tree(n_vertices, tree_u, tree_v):
+        raise AssertionError("claimed MST is not a spanning tree")
+    ours = float(tree_w.sum())
+    ref = mst_total_weight_scipy(n_vertices, graph_u, graph_v, graph_w)
+    if not np.isclose(ours, ref, rtol=rtol):
+        raise AssertionError(
+            f"MST weight mismatch: ours {ours!r} vs scipy {ref!r}"
+        )

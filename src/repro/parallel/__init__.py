@@ -1,0 +1,85 @@
+"""Data-parallel substrate: primitives, union-find, CC, and the machine model.
+
+This package is the reproduction's substitute for Kokkos: algorithms above it
+are written purely in terms of maps, scans, sorts, gathers and scatters, and
+every such call both executes (as a bulk NumPy kernel) and is accounted in
+the active :class:`~repro.parallel.machine.CostModel` so runs can be re-priced
+on calibrated CPU/GPU device specs.
+"""
+
+from .connected import compress_labels, components_of_forest, connected_components
+from .listrank import list_order, list_rank
+from .machine import (
+    CPU_EPYC_7A53,
+    CPU_SEQUENTIAL,
+    DEVICES,
+    GPU_A100,
+    GPU_MI250X,
+    CostModel,
+    DeviceSpec,
+    KernelRecord,
+    active_model,
+    emit,
+    tracking,
+)
+from .primitives import (
+    argsort,
+    compact,
+    exclusive_scan,
+    gather,
+    inclusive_scan,
+    lexsort,
+    parallel_map,
+    reduce_max,
+    reduce_min,
+    reduce_sum,
+    scatter,
+    scatter_max_ordered,
+    scatter_min_at,
+    segmented_first,
+    sort,
+    sort_by_key,
+    unique_labels,
+)
+from .unionfind import ArrayUnionFind, UnionFind
+
+__all__ = [
+    # machine
+    "CostModel",
+    "DeviceSpec",
+    "KernelRecord",
+    "tracking",
+    "active_model",
+    "emit",
+    "CPU_SEQUENTIAL",
+    "CPU_EPYC_7A53",
+    "GPU_MI250X",
+    "GPU_A100",
+    "DEVICES",
+    # primitives
+    "parallel_map",
+    "reduce_sum",
+    "reduce_max",
+    "reduce_min",
+    "inclusive_scan",
+    "exclusive_scan",
+    "sort",
+    "argsort",
+    "lexsort",
+    "sort_by_key",
+    "gather",
+    "scatter",
+    "scatter_max_ordered",
+    "scatter_min_at",
+    "compact",
+    "segmented_first",
+    "unique_labels",
+    # union-find / cc
+    "UnionFind",
+    "ArrayUnionFind",
+    "connected_components",
+    "list_rank",
+    "list_order",
+    "components_of_forest",
+    "compress_labels",
+]

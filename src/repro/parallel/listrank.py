@@ -1,0 +1,81 @@
+"""Parallel list ranking (Wyllie's pointer jumping).
+
+Section 5 of the paper explains why PANDORA's tree contraction uses
+union-find rather than Euler tours: the Euler-tour route needs *list
+ranking*, which "significantly underperforms on GPUs compared to prefix-sum
+or sort algorithms".  This module provides exactly that primitive so the
+claim can be measured (see ``benchmarks/bench_ablation_contraction.py``):
+
+Given a successor array describing a linked list, compute every element's
+rank (distance to the list tail) with pointer jumping: O(n log n) work over
+O(log n) rounds of gathers -- an asymptotic factor of log n *more work* than
+the scan-based alternative, which is the inefficiency the paper avoids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .machine import emit
+
+__all__ = ["list_rank", "list_order"]
+
+
+def list_rank(successor: np.ndarray) -> np.ndarray:
+    """Rank (hops to the tail) of every element of a linked list.
+
+    Parameters
+    ----------
+    successor:
+        ``(n,)`` int array; ``successor[i]`` is the next element, ``-1`` at
+        the tail.  Every element must reach the tail (a single list or a
+        forest of lists).
+
+    Returns
+    -------
+    ``(n,)`` ranks; the tail has rank 0.
+    """
+    nxt = np.asarray(successor, dtype=np.int64).copy()
+    n = nxt.size
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    if nxt.max(initial=-1) >= n:
+        raise ValueError("successor index out of range")
+    rank = (nxt >= 0).astype(np.int64)
+    # Wyllie's algorithm: each round, rank[i] += rank[next[i]] and the
+    # pointer doubles (next[i] = next[next[i]]); the accounted distance and
+    # the skip length stay consistent, so when next[i] hits the tail the
+    # rank is exact.  O(log n) rounds, O(n) work per round.
+    rounds = 0
+    max_rounds = n.bit_length() + 2
+    while True:
+        live = np.nonzero(nxt >= 0)[0]
+        if live.size == 0:
+            break
+        targets = nxt[live]
+        rank[live] += rank[targets]
+        nxt[live] = nxt[targets]
+        emit("listrank.jump", "jump", int(live.size))
+        rounds += 1
+        if rounds > max_rounds:
+            raise ValueError("successor array contains a cycle")
+    return rank
+
+
+def list_order(successor: np.ndarray, head: int) -> np.ndarray:
+    """Elements of a single list in head-to-tail order (via ranks).
+
+    ``head`` is validated against the ranking (it must be the unique
+    maximum-rank element).
+    """
+    rank = list_rank(successor)
+    n = rank.size
+    order = np.empty(n, dtype=np.int64)
+    # rank decreases along the list: head has the max
+    emit("listrank.scatter_order", "scatter", n)
+    order[rank.max() - rank] = np.arange(n)
+    if n and order[0] != head:
+        raise ValueError(
+            f"element {head} is not the list head (head is {int(order[0])})"
+        )
+    return order

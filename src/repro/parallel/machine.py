@@ -1,0 +1,322 @@
+"""Work-depth machine model for simulating device execution.
+
+The paper implements every step of PANDORA as a sequence of data-parallel
+kernels (parallel loops, reductions, prefix sums, sorts) dispatched through
+Kokkos to a CPU or GPU backend.  This repo executes those kernels as bulk
+vectorized NumPy operations; this module provides the accounting layer that
+turns the *same* kernel sequence into modeled device times.
+
+Every primitive in :mod:`repro.parallel.primitives` emits a
+:class:`KernelRecord` (category, work, launches) into the active
+:class:`CostModel`, if any.  A :class:`DeviceSpec` holds per-category
+sustained throughputs (elements/second) and a kernel launch latency;
+``CostModel.modeled_time(spec)`` converts the recorded kernel trace into a
+time estimate:
+
+    time = sum over kernels of  (launch_latency + work / throughput[category])
+
+This is the standard "work + launches" flat model: it deliberately ignores
+cache effects and occupancy ramps, because the quantities the paper reports
+(speedup ratios, phase fractions, crossover problem sizes) are governed by
+work, per-primitive efficiency, and launch overhead.  Device specs below are
+calibrated so the model lands inside the speedup bands the paper measures
+(Figures 11-13): sorts accelerate ~10-18x on GPUs, random-scatter /
+pointer-jumping kernels only ~3-6x, maps ~10-15x.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Iterator, Mapping
+
+__all__ = [
+    "KernelCategory",
+    "KernelRecord",
+    "DeviceSpec",
+    "CostModel",
+    "tracking",
+    "active_model",
+    "emit",
+    "scale_trace",
+    "CPU_EPYC_7A53",
+    "GPU_MI250X",
+    "GPU_A100",
+    "CPU_SEQUENTIAL",
+    "DEVICES",
+]
+
+#: Kernel categories distinguished by the model.  Categories map to the
+#: parallel constructs used by the paper's implementation.
+KernelCategory = str
+
+CATEGORIES: tuple[KernelCategory, ...] = (
+    "map",        # parallel_for over n elements, coalesced access
+    "reduce",     # parallel_reduce
+    "scan",       # prefix sum
+    "sort",       # key or key-value sort; work should be n (model applies log)
+    "gather",     # indexed read a[idx]
+    "scatter",    # indexed write / atomic update (random access)
+    "jump",       # pointer jumping round (union-find / CC shortcutting)
+)
+
+
+@dataclass(frozen=True)
+class KernelRecord:
+    """One launched kernel: its category, name and work in elements."""
+
+    name: str
+    category: KernelCategory
+    work: int
+    phase: str = ""
+
+    def __post_init__(self) -> None:
+        if self.category not in CATEGORIES:
+            raise ValueError(
+                f"unknown kernel category {self.category!r}; "
+                f"expected one of {CATEGORIES}"
+            )
+        if self.work < 0:
+            raise ValueError(f"kernel work must be >= 0, got {self.work}")
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Sustained-throughput description of one execution space.
+
+    Parameters
+    ----------
+    name:
+        Human-readable device name, e.g. ``"AMD MI250X (1 GCD)"``.
+    kind:
+        ``"cpu"`` or ``"gpu"``; informational only.
+    throughput:
+        Elements/second for each kernel category.  ``sort`` throughput is in
+        keys/second *per comparison pass*; the model multiplies sort work by
+        ``log2(work)`` internally so callers record plain ``n``.
+    launch_latency:
+        Seconds of fixed overhead per kernel launch.
+    """
+
+    name: str
+    kind: str
+    throughput: Mapping[KernelCategory, float]
+    launch_latency: float
+
+    def __post_init__(self) -> None:
+        missing = set(CATEGORIES) - set(self.throughput)
+        if missing:
+            raise ValueError(f"device {self.name!r} missing throughputs: {missing}")
+        object.__setattr__(self, "throughput", MappingProxyType(dict(self.throughput)))
+
+    def kernel_time(self, record: KernelRecord) -> float:
+        """Modeled wall time for a single kernel on this device."""
+        import math
+
+        work = float(record.work)
+        if record.category == "sort" and work > 1:
+            work *= math.log2(work)
+        rate = self.throughput[record.category]
+        return self.launch_latency + work / rate
+
+
+class CostModel:
+    """Accumulates the kernel trace of an algorithm run.
+
+    Use together with :func:`tracking`::
+
+        model = CostModel()
+        with tracking(model):
+            run_algorithm()
+        print(model.modeled_time(GPU_A100))
+
+    Phases (``with model.phase("sort"): ...``) tag records so per-phase
+    breakdowns (paper Figures 12/13) can be extracted from one trace.
+    """
+
+    def __init__(self) -> None:
+        self.records: list[KernelRecord] = []
+        self._phase_stack: list[str] = []
+
+    # -- recording ---------------------------------------------------------
+    def add(self, name: str, category: KernelCategory, work: int) -> None:
+        phase = self._phase_stack[-1] if self._phase_stack else ""
+        self.records.append(KernelRecord(name, category, int(work), phase))
+
+    @contextmanager
+    def phase(self, label: str) -> Iterator[None]:
+        self._phase_stack.append(label)
+        try:
+            yield
+        finally:
+            self._phase_stack.pop()
+
+    # -- queries -----------------------------------------------------------
+    def kernel_count(self, phase: str | None = None) -> int:
+        return sum(1 for r in self._select(phase))
+
+    def total_work(
+        self, category: KernelCategory | None = None, phase: str | None = None
+    ) -> int:
+        return sum(
+            r.work
+            for r in self._select(phase)
+            if category is None or r.category == category
+        )
+
+    def modeled_time(self, spec: DeviceSpec, phase: str | None = None) -> float:
+        return sum(spec.kernel_time(r) for r in self._select(phase))
+
+    def phases(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for r in self.records:
+            seen.setdefault(r.phase, None)
+        return list(seen)
+
+    def phase_breakdown(self, spec: DeviceSpec) -> dict[str, float]:
+        """Modeled time per phase label."""
+        out: dict[str, float] = {}
+        for r in self.records:
+            out[r.phase] = out.get(r.phase, 0.0) + spec.kernel_time(r)
+        return out
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def _select(self, phase: str | None) -> Iterator[KernelRecord]:
+        if phase is None:
+            return iter(self.records)
+        return (r for r in self.records if r.phase == phase)
+
+
+# ---------------------------------------------------------------------------
+# Active-model plumbing.  Primitives call ``emit`` unconditionally; it is a
+# cheap no-op when nothing is being tracked.
+# ---------------------------------------------------------------------------
+
+_ACTIVE: list[CostModel] = []
+
+
+@contextmanager
+def tracking(model: CostModel) -> Iterator[CostModel]:
+    """Make ``model`` receive kernel records emitted inside the block."""
+    _ACTIVE.append(model)
+    try:
+        yield model
+    finally:
+        _ACTIVE.pop()
+
+
+def active_model() -> CostModel | None:
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+def emit(name: str, category: KernelCategory, work: int) -> None:
+    """Record one kernel launch into every active model."""
+    if _ACTIVE:
+        _ACTIVE[-1].add(name, category, work)
+
+
+def scale_trace(model: CostModel, factor: float) -> CostModel:
+    """Extrapolate a kernel trace to a ``factor``-times-larger input.
+
+    Per-kernel work scales linearly (every PANDORA kernel is linear in its
+    level's size; the sort's extra log factor is applied by
+    ``DeviceSpec.kernel_time``).  Kernel *count* is kept: a larger input adds
+    only O(log factor) extra contraction levels whose work is a geometric
+    tail, a <=few-percent effect this model ignores.
+
+    Used by the benchmark harness to report modeled device times at the
+    paper's full dataset sizes while tracing runs at reproduction scale;
+    small-scale traces are used directly where the paper studies small
+    problems (Figure 14's saturation curve).
+    """
+    if factor <= 0:
+        raise ValueError(f"factor must be positive, got {factor}")
+    out = CostModel()
+    for r in model.records:
+        out.records.append(
+            KernelRecord(r.name, r.category, int(round(r.work * factor)), r.phase)
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Calibrated device specs.
+#
+# Throughputs (elements/second) are chosen so modeled speedup ratios land in
+# the bands of the paper's testbed (EPYC 7A53 64c vs MI250X single GCD vs
+# A100):  Fig. 12 reports sort 8-16x, contraction (scatter/jump heavy) 3-5x,
+# expansion 5-12x, and Fig. 11 overall dendrogram speedups 6-20x (MI250X) and
+# 10-37x (A100).  Launch latencies reflect typical kernel dispatch costs.
+# ---------------------------------------------------------------------------
+
+CPU_SEQUENTIAL = DeviceSpec(
+    name="1 core (sequential)",
+    kind="cpu",
+    throughput={
+        "map": 6.0e8,
+        "reduce": 6.0e8,
+        "scan": 4.0e8,
+        "sort": 2.0e7,
+        "gather": 2.5e8,
+        "scatter": 2.0e8,
+        "jump": 2.0e8,
+    },
+    launch_latency=1.0e-7,
+)
+
+CPU_EPYC_7A53 = DeviceSpec(
+    name="AMD EPYC 7A53 (64 cores)",
+    kind="cpu",
+    throughput={
+        "map": 1.6e10,
+        "reduce": 1.4e10,
+        "scan": 8.0e9,
+        "sort": 8.0e8,
+        "gather": 5.0e9,
+        "scatter": 3.0e9,
+        "jump": 3.0e9,
+    },
+    launch_latency=4.0e-6,
+)
+
+GPU_MI250X = DeviceSpec(
+    name="AMD MI250X (1 GCD)",
+    kind="gpu",
+    throughput={
+        "map": 1.7e11,
+        "reduce": 1.3e11,
+        "scan": 9.0e10,
+        "sort": 7.0e9,
+        "gather": 4.5e10,
+        "scatter": 1.5e10,
+        "jump": 1.4e10,
+    },
+    launch_latency=6.0e-6,
+)
+
+GPU_A100 = DeviceSpec(
+    name="Nvidia A100",
+    kind="gpu",
+    throughput={
+        "map": 2.3e11,
+        "reduce": 1.8e11,
+        "scan": 1.3e11,
+        "sort": 1.2e10,
+        "gather": 6.5e10,
+        "scatter": 2.0e10,
+        "jump": 1.9e10,
+    },
+    launch_latency=4.5e-6,
+)
+
+DEVICES: Mapping[str, DeviceSpec] = MappingProxyType(
+    {
+        "seq": CPU_SEQUENTIAL,
+        "epyc7a53": CPU_EPYC_7A53,
+        "mi250x": GPU_MI250X,
+        "a100": GPU_A100,
+    }
+)

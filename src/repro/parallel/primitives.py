@@ -1,0 +1,190 @@
+"""Data-parallel primitives: the Kokkos-construct substitute layer.
+
+The PANDORA paper expresses every kernel as one of a handful of parallel
+constructs -- parallel loops (maps), reductions, prefix sums (scans), sorts,
+gathers and scatters.  This module provides exactly those constructs as bulk
+vectorized NumPy operations.  Each call:
+
+* performs the operation as a single C-level pass over the arrays (the Python
+  analogue of one kernel launch, with no per-element interpreter overhead);
+* emits one :class:`~repro.parallel.machine.KernelRecord` into the active
+  cost model so the run can be re-priced on any
+  :class:`~repro.parallel.machine.DeviceSpec`.
+
+Algorithms in :mod:`repro.core` and :mod:`repro.mst` are written exclusively
+against this layer, which is what makes the claim "every step is a map, scan
+or sort" checkable: the recorded kernel trace *is* the algorithm's parallel
+schedule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .machine import emit
+
+__all__ = [
+    "parallel_map",
+    "reduce_sum",
+    "reduce_max",
+    "reduce_min",
+    "inclusive_scan",
+    "exclusive_scan",
+    "sort",
+    "argsort",
+    "lexsort",
+    "sort_by_key",
+    "gather",
+    "scatter",
+    "scatter_max_ordered",
+    "scatter_min_at",
+    "compact",
+    "segmented_first",
+    "unique_labels",
+]
+
+
+def parallel_map(fn, *arrays: np.ndarray, name: str = "map") -> np.ndarray:
+    """Apply a vectorized elementwise function: ``parallel_for`` analogue.
+
+    ``fn`` must itself be a bulk NumPy expression (e.g. ``lambda a, b:
+    a + b``); this wrapper exists to account the launch, not to loop.
+    """
+    out = fn(*arrays)
+    work = max((int(np.size(a)) for a in arrays), default=0)
+    emit(name, "map", work)
+    return out
+
+
+def reduce_sum(a: np.ndarray, name: str = "reduce_sum"):
+    emit(name, "reduce", a.size)
+    return a.sum()
+
+
+def reduce_max(a: np.ndarray, name: str = "reduce_max"):
+    emit(name, "reduce", a.size)
+    return a.max()
+
+
+def reduce_min(a: np.ndarray, name: str = "reduce_min"):
+    emit(name, "reduce", a.size)
+    return a.min()
+
+
+def inclusive_scan(a: np.ndarray, name: str = "scan") -> np.ndarray:
+    """Inclusive prefix sum (Kokkos ``parallel_scan``)."""
+    emit(name, "scan", a.size)
+    return np.cumsum(a)
+
+
+def exclusive_scan(a: np.ndarray, name: str = "scan") -> np.ndarray:
+    """Exclusive prefix sum; returns array of the same length as ``a``."""
+    emit(name, "scan", a.size)
+    out = np.empty(a.size, dtype=np.result_type(a.dtype, np.int64)
+                   if np.issubdtype(a.dtype, np.integer) else a.dtype)
+    if a.size:
+        np.cumsum(a[:-1], out=out[1:])
+        out[0] = 0
+    return out
+
+
+def sort(a: np.ndarray, name: str = "sort") -> np.ndarray:
+    emit(name, "sort", a.size)
+    return np.sort(a, kind="stable")
+
+
+def argsort(a: np.ndarray, name: str = "argsort") -> np.ndarray:
+    emit(name, "sort", a.size)
+    return np.argsort(a, kind="stable")
+
+
+def lexsort(keys: tuple[np.ndarray, ...], name: str = "lexsort") -> np.ndarray:
+    """Stable multi-key sort; last key is the primary key (NumPy order)."""
+    if not keys:
+        raise ValueError("lexsort requires at least one key")
+    emit(name, "sort", keys[0].size)
+    return np.lexsort(keys)
+
+
+def sort_by_key(
+    keys: np.ndarray, values: np.ndarray, name: str = "sort_by_key"
+) -> tuple[np.ndarray, np.ndarray]:
+    """Key-value sort, stable in the values for equal keys."""
+    order = np.argsort(keys, kind="stable")
+    emit(name, "sort", keys.size)
+    return keys[order], values[order]
+
+
+def gather(a: np.ndarray, idx: np.ndarray, name: str = "gather") -> np.ndarray:
+    emit(name, "gather", int(np.size(idx)))
+    return a[idx]
+
+
+def scatter(
+    target: np.ndarray, idx: np.ndarray, values, name: str = "scatter"
+) -> np.ndarray:
+    """Indexed write ``target[idx] = values`` (duplicate behaviour unspecified)."""
+    emit(name, "scatter", int(np.size(idx)))
+    target[idx] = values
+    return target
+
+
+def scatter_max_ordered(
+    target: np.ndarray, idx: np.ndarray, values: np.ndarray,
+    name: str = "scatter_max",
+) -> np.ndarray:
+    """``target[i] = max(target[i], max of values scattered to i)``.
+
+    Requires ``values`` to be sorted ascending wherever indices collide;
+    then a plain fancy assignment (last-write-wins for duplicate indices in
+    NumPy) realizes an atomic-max.  This is how ``maxIncident`` is computed:
+    edges are stored in descending-weight order so their indices 0..m-1 are
+    ascending, making the lightest (largest-index) incident edge the last
+    writer.  An explicit atomic-max fallback (`np.maximum.at`) is used when
+    the precondition cannot be guaranteed by the caller.
+    """
+    emit(name, "scatter", int(np.size(idx)))
+    target[idx] = values
+    return target
+
+
+def scatter_min_at(
+    target: np.ndarray, idx: np.ndarray, values: np.ndarray,
+    name: str = "scatter_min",
+) -> np.ndarray:
+    """Atomic-min scatter (``np.minimum.at``), the GPU atomicMin analogue."""
+    emit(name, "scatter", int(np.size(idx)))
+    np.minimum.at(target, idx, values)
+    return target
+
+
+def compact(a: np.ndarray, mask: np.ndarray, name: str = "compact") -> np.ndarray:
+    """Stream compaction (filter): scan + gather on GPU, one pass here."""
+    emit(name + ".scan", "scan", mask.size)
+    emit(name + ".gather", "gather", int(mask.sum()))
+    return a[mask]
+
+
+def segmented_first(
+    sorted_keys: np.ndarray, name: str = "segmented_first"
+) -> np.ndarray:
+    """Boolean mask of the first element of each run in a sorted key array."""
+    emit(name, "map", sorted_keys.size)
+    if sorted_keys.size == 0:
+        return np.zeros(0, dtype=bool)
+    head = np.empty(sorted_keys.size, dtype=bool)
+    head[0] = True
+    np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=head[1:])
+    return head
+
+
+def unique_labels(labels: np.ndarray, name: str = "relabel") -> tuple[np.ndarray, int]:
+    """Compact arbitrary integer labels to 0..k-1; returns (new_labels, k).
+
+    Implemented as sort + segmented head flags + scan, the standard GPU
+    relabeling kernel sequence.
+    """
+    emit(name, "sort", labels.size)
+    uniq, inv = np.unique(labels, return_inverse=True)
+    emit(name + ".scan", "scan", labels.size)
+    return inv.astype(np.int64, copy=False), int(uniq.size)

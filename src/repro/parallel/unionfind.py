@@ -1,0 +1,152 @@
+"""Union-find (disjoint set) structures.
+
+Two implementations with different roles:
+
+* :class:`UnionFind` -- the classic sequential structure with union by size
+  and path halving.  This is the engine of the *bottom-up baseline*
+  (Algorithm 2 of the paper) and of Kruskal's MST; its sequential edge loop
+  is precisely the parallelization obstacle PANDORA removes.
+
+* :class:`ArrayUnionFind` -- a flat-array, pointer-jumping variant in the
+  style of the synchronization-free GPU union-find of Jaiganesh & Burtscher
+  (ECL-CC) that the paper uses for tree contraction.  Unions are applied in
+  bulk batches; ``flatten`` performs pointer-jumping rounds until every
+  element points at its root.  All operations are whole-array NumPy kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .machine import emit
+
+__all__ = ["UnionFind", "ArrayUnionFind"]
+
+
+class UnionFind:
+    """Sequential disjoint-set with union by size and path halving.
+
+    ``find``/``union`` are amortized O(alpha(n)).  ``parent`` is kept in a
+    NumPy array so snapshots are cheap, but the operations themselves are
+    scalar Python -- intentionally so: this is the sequential baseline.
+    """
+
+    __slots__ = ("parent", "size", "n_components")
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        self.parent = np.arange(n, dtype=np.int64)
+        self.size = np.ones(n, dtype=np.int64)
+        self.n_components = n
+
+    def find(self, x: int) -> int:
+        p = self.parent
+        while p[x] != x:
+            p[x] = p[p[x]]  # path halving
+            x = p[x]
+        return int(x)
+
+    def union(self, a: int, b: int) -> int:
+        """Merge the sets of ``a`` and ``b``; returns the new root."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self.size[ra] < self.size[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.size[ra] += self.size[rb]
+        self.n_components -= 1
+        return ra
+
+    def connected(self, a: int, b: int) -> bool:
+        return self.find(a) == self.find(b)
+
+    def component_sizes(self) -> dict[int, int]:
+        roots = [self.find(i) for i in range(len(self.parent))]
+        out: dict[int, int] = {}
+        for r in roots:
+            out[r] = out.get(r, 0) + 1
+        return out
+
+    def labels(self) -> np.ndarray:
+        """Root label of every element (fully compressed)."""
+        return np.fromiter(
+            (self.find(i) for i in range(len(self.parent))),
+            count=len(self.parent),
+            dtype=np.int64,
+        )
+
+
+class ArrayUnionFind:
+    """Bulk, vectorized union-find via min-hooking and pointer jumping.
+
+    The representative of each set is its minimum element id, which makes
+    hooking deterministic regardless of the order unions are applied in a
+    batch -- the property a lock-free GPU implementation needs.
+
+    ``union_batch(u, v)`` applies many unions at once: repeated rounds of
+
+    1. *hook*: for every pair, atomically ``parent[max(root_u, root_v)] =
+       min(...)`` (here ``np.minimum.at``);
+    2. *shortcut*: pointer jumping ``parent = parent[parent]`` to a fixed
+       point,
+
+    which is the Shiloach-Vishkin / ECL-CC schedule.  Each round is O(1)
+    kernels; the number of rounds is O(log n) for any batch.
+    """
+
+    __slots__ = ("parent",)
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        self.parent = np.arange(n, dtype=np.int64)
+
+    def union_batch(self, u: np.ndarray, v: np.ndarray) -> None:
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        if u.shape != v.shape:
+            raise ValueError("u and v must have the same shape")
+        if u.size == 0:
+            return
+        while True:
+            parent = self.parent  # flatten() rebinds it; re-read each round
+            pu = parent[u]
+            pv = parent[v]
+            emit("uf.gather_roots", "gather", 2 * u.size)
+            active = pu != pv
+            if not active.any():
+                break
+            lo = np.minimum(pu[active], pv[active])
+            hi = np.maximum(pu[active], pv[active])
+            np.minimum.at(parent, hi, lo)
+            emit("uf.hook", "scatter", int(hi.size))
+            self.flatten()
+
+    def flatten(self) -> None:
+        """Pointer-jump every element to its root."""
+        parent = self.parent
+        while True:
+            grand = parent[parent]
+            emit("uf.jump", "jump", parent.size)
+            if np.array_equal(grand, parent):
+                break
+            parent = grand
+        self.parent = parent
+
+    def find_all(self) -> np.ndarray:
+        """Root of every element (array of length n); flattens first."""
+        self.flatten()
+        return self.parent.copy()
+
+    def find_many(self, xs: np.ndarray) -> np.ndarray:
+        """Roots of the queried elements; flattens first."""
+        self.flatten()
+        emit("uf.find_many", "gather", int(np.size(xs)))
+        return self.parent[xs]
+
+    @property
+    def n_components(self) -> int:
+        self.flatten()
+        return int(np.unique(self.parent).size)

@@ -1,0 +1,13 @@
+"""Timing, throughput metrics and table rendering for the benchmarks."""
+
+from .metrics import mpoints_per_sec, speedup
+from .report import format_value, render_table
+from .timers import PhaseTimer
+
+__all__ = [
+    "PhaseTimer",
+    "mpoints_per_sec",
+    "speedup",
+    "render_table",
+    "format_value",
+]

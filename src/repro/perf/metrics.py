@@ -1,0 +1,19 @@
+"""Performance metrics matching the paper's reporting conventions."""
+
+from __future__ import annotations
+
+__all__ = ["mpoints_per_sec", "speedup"]
+
+
+def mpoints_per_sec(n_points: int, seconds: float) -> float:
+    """The paper's throughput metric: 1e-6 * points / time (Section 6.3)."""
+    if seconds <= 0:
+        raise ValueError(f"seconds must be positive, got {seconds}")
+    return 1e-6 * n_points / seconds
+
+
+def speedup(baseline_seconds: float, accelerated_seconds: float) -> float:
+    """How many times faster the accelerated run is."""
+    if accelerated_seconds <= 0:
+        raise ValueError("accelerated time must be positive")
+    return baseline_seconds / accelerated_seconds

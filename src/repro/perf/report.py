@@ -1,0 +1,45 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The benchmarks print the same rows/series the paper's tables and figures
+report; this module keeps the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "format_value"]
+
+
+def format_value(v) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1e5 or abs(v) < 1e-3:
+            return f"{v:.2e}"
+        if abs(v) >= 100:
+            return f"{v:.1f}"
+        return f"{v:.3g}"
+    return str(v)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table; every cell goes through format_value."""
+    str_rows = [[format_value(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in str_rows:
+        lines.append("  ".join(r[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Phase timing utilities used across benchmarks."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["PhaseTimer"]
+
+
+class PhaseTimer:
+    """Accumulates named wall-clock phases.
+
+    >>> t = PhaseTimer()
+    >>> with t.phase("sort"):
+    ...     do_sort()
+    >>> t.seconds["sort"]
+    """
+
+    def __init__(self) -> None:
+        self.seconds: dict[str, float] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.seconds[name] = self.seconds.get(name, 0.0) + (
+                time.perf_counter() - t0
+            )
+
+    @property
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+    def fractions(self) -> dict[str, float]:
+        """Per-phase fraction of total time (the Figure-13 quantity)."""
+        total = self.total
+        if total == 0:
+            return {k: 0.0 for k in self.seconds}
+        return {k: v / total for k, v in self.seconds.items()}
+
+    def merge(self, other: dict[str, float]) -> None:
+        for k, v in other.items():
+            self.seconds[k] = self.seconds.get(k, 0.0) + v

@@ -1,0 +1,21 @@
+"""Spatial substrate: kd-tree, kNN/core distances, dual-tree Boruvka EMST."""
+
+from .distances import (
+    dist_block,
+    mutual_reachability_block,
+    pairwise_mutual_reachability,
+    sq_dist_block,
+)
+from .emst import EMSTResult, core_distances, emst
+from .kdtree import KDTree
+
+__all__ = [
+    "KDTree",
+    "emst",
+    "EMSTResult",
+    "core_distances",
+    "sq_dist_block",
+    "dist_block",
+    "mutual_reachability_block",
+    "pairwise_mutual_reachability",
+]

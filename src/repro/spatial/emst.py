@@ -1,0 +1,490 @@
+"""Euclidean / mutual-reachability MST via dual-tree Boruvka.
+
+This is the reproduction of the paper's EMST substrate (ArborX's
+tree-accelerated Boruvka [39]): each Boruvka round finds, for every
+component, its closest *foreign* point pair, using the kd-tree to prune
+interactions.
+
+Round structure:
+
+1. **Seed** -- each point scans its precomputed kNN list for its nearest
+   neighbor outside its component; this initializes per-component candidate
+   upper bounds (in early rounds the kNN list almost always contains the true
+   answer, so the tree traversal only verifies).
+2. **Aggregate** -- per tree node, bottom-up: the single component id beneath
+   it (or -1 if mixed) and a pruning bound (max over contained components'
+   current candidate distances).  Leaf aggregates are one ``reduceat`` over
+   the tree-permuted arrays.
+3. **Traverse** -- best-first over node pairs ordered by box-to-box lower
+   bound; a pair (A, B) is pruned when every component in A and B already has
+   a candidate at least as good, or when both sides are the same single
+   component.  Leaf-leaf interactions are distance blocks over contiguous
+   views with same-component pairs masked; updates are bilateral.
+4. **Contract** -- every component's best pair becomes an MST edge.  A
+   union-find cycle guard drops redundant picks: under mutual reachability,
+   exact weight ties are common (the same core distance can dominate several
+   pairs), and two components may legitimately nominate *different*
+   equal-weight edges between the same component pair.  Any such choice
+   yields a valid MST (single-linkage results are invariant to it), but the
+   guard is required to keep the output a tree.
+
+Exactness: pruning only discards pairs provably unable to improve any
+component's candidate, and candidate resolution takes the global minimum per
+component, so each round adds exactly the Boruvka edges of the full metric
+graph.  Tests verify against dense-matrix MSTs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..parallel.connected import connected_components
+from ..parallel.machine import emit
+from ..parallel.unionfind import UnionFind
+from .distances import sq_dist_block
+from .kdtree import KDTree
+
+__all__ = ["EMSTResult", "emst", "core_distances"]
+
+
+@dataclass
+class EMSTResult:
+    """MST edges plus run diagnostics."""
+
+    u: np.ndarray
+    v: np.ndarray
+    w: np.ndarray            # metric distances (Euclidean or mutual reach.)
+    core: np.ndarray         # core distances used (zeros for mpts == 1)
+    n_rounds: int
+    n_pair_visits: int       # node pairs examined across all rounds
+
+    @property
+    def n_edges(self) -> int:
+        return int(self.u.size)
+
+
+def core_distances(
+    points: np.ndarray, mpts: int, tree: KDTree | None = None, k_extra: int = 0
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Core distance of each point plus its kNN lists.
+
+    ``core(p)`` is the distance to the ``mpts``-th nearest neighbor counting
+    p itself (HDBSCAN* convention), i.e. column ``mpts - 1`` of a self-query.
+    Returns ``(core, knn_dists, knn_ids)`` with ``mpts + k_extra`` columns
+    (the extra columns improve Boruvka seeding).
+    """
+    if mpts < 1:
+        raise ValueError(f"mpts must be >= 1, got {mpts}")
+    if tree is None:
+        tree = KDTree.build(points)
+    k = min(mpts + k_extra, tree.n_points)
+    dists, ids = tree.query_knn(points, k)
+    # clamp mpts to the available neighbor count (tiny inputs): the core
+    # distance degrades to the farthest available neighbor
+    col = min(mpts, tree.n_points) - 1
+    core = dists[:, col] if col > 0 else np.zeros(points.shape[0])
+    return core, dists, ids
+
+
+def emst(
+    points: np.ndarray,
+    mpts: int = 1,
+    leaf_size: int = 96,
+    seed_k: int = 8,
+) -> EMSTResult:
+    """Exact MST of a point cloud under Euclidean or mutual reachability.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` float array.
+    mpts:
+        HDBSCAN* core-distance parameter; 1 = plain Euclidean EMST.
+    leaf_size:
+        kd-tree leaf size (larger favours block work over traversal).
+    seed_k:
+        Number of kNN columns retained for candidate seeding (at least
+        ``mpts``).
+
+    Returns
+    -------
+    :class:`EMSTResult` with ``n - 1`` edges for ``n >= 1`` points.
+    """
+    points = np.ascontiguousarray(points, dtype=np.float64)
+    n = points.shape[0]
+    if n == 0:
+        raise ValueError("need at least one point")
+    if n == 1:
+        z = np.zeros(0)
+        return EMSTResult(z.astype(np.int64), z.astype(np.int64), z,
+                          np.zeros(1), 0, 0)
+
+    tree = KDTree.build(points, leaf_size=leaf_size)
+    k_seed = max(mpts, min(seed_k, n))
+    core, knn_d, knn_i = core_distances(points, mpts, tree, k_extra=k_seed - mpts)
+    core2 = core * core
+    knn_d2 = knn_d * knn_d
+
+    # Tree-order views used by leaf interactions and reduceat aggregates.
+    pts_perm = tree.points_perm
+    core2_perm = core2[tree.indices]
+    leaves = tree.leaves_by_start()
+    leaf_starts = tree.start[leaves]
+    internal_desc = np.array(
+        [i for i in range(tree.n_nodes - 1, -1, -1) if tree.left[i] != -1],
+        dtype=np.int64,
+    )
+
+    node_min_core2 = _node_aggregate(
+        tree, leaves, leaf_starts, internal_desc, core2_perm, np.minimum, np.inf
+    )
+
+    labels = np.arange(n, dtype=np.int64)
+    mst_u: list[int] = []
+    mst_v: list[int] = []
+    mst_w2: list[float] = []
+    n_rounds = 0
+    n_pair_visits = 0
+    n_comp = n
+
+    while n_comp > 1:
+        n_rounds += 1
+        best_d2 = np.full(n, np.inf)  # indexed by component representative
+        cand = _Candidates()
+        _seed_from_knn(labels, knn_d2, knn_i, core2, mpts, best_d2, cand)
+
+        labels_perm = labels[tree.indices]
+        node_lo = _node_aggregate(
+            tree, leaves, leaf_starts, internal_desc, labels_perm,
+            np.minimum, np.iinfo(np.int64).max,
+        )
+        node_hi = _node_aggregate(
+            tree, leaves, leaf_starts, internal_desc, labels_perm,
+            np.maximum, np.iinfo(np.int64).min,
+        )
+        node_comp = np.where(node_lo == node_hi, node_lo, -1)
+        node_bound2 = _node_aggregate(
+            tree, leaves, leaf_starts, internal_desc, best_d2[labels_perm],
+            np.maximum, 0.0,
+        )
+
+        visits = _traverse(
+            tree, labels_perm, core2_perm, mpts, best_d2, cand,
+            node_comp, node_bound2, node_min_core2, pts_perm,
+        )
+        n_pair_visits += visits
+
+        cu, cv, cw2 = _resolve_candidates(n, cand)
+        if cu.size == 0:
+            raise AssertionError(
+                "Boruvka round found no edges on a multi-component input"
+            )
+        # Cycle guard (see module docstring): keep only merging picks, in
+        # deterministic (weight, endpoints) order.
+        guard = UnionFind(n)
+        added = 0
+        for p, q, d2 in zip(cu.tolist(), cv.tolist(), cw2.tolist()):
+            ra, rb = guard.find(int(labels[p])), guard.find(int(labels[q]))
+            if ra != rb:
+                guard.union(ra, rb)
+                mst_u.append(p)
+                mst_v.append(q)
+                mst_w2.append(d2)
+                added += 1
+        if added == 0:
+            raise AssertionError("cycle guard rejected every candidate edge")
+        merged = connected_components(
+            n, np.stack([labels[cu], labels[cv]], axis=1)
+        )
+        labels = merged[labels]
+        emit("emst.compose_labels", "gather", n)
+        n_comp = int(np.unique(labels).size)
+
+    u = np.asarray(mst_u, dtype=np.int64)
+    v = np.asarray(mst_v, dtype=np.int64)
+    w = np.sqrt(np.asarray(mst_w2, dtype=np.float64))
+    return EMSTResult(u, v, w, core, n_rounds, n_pair_visits)
+
+
+# --------------------------------------------------------------------------
+# Round sub-steps
+# --------------------------------------------------------------------------
+
+
+class _Candidates:
+    """Per-round candidate pool: (component, d2, p, q) quadruples."""
+
+    __slots__ = ("comps", "d2s", "ps", "qs")
+
+    def __init__(self) -> None:
+        self.comps: list[np.ndarray] = []
+        self.d2s: list[np.ndarray] = []
+        self.ps: list[np.ndarray] = []
+        self.qs: list[np.ndarray] = []
+
+    def add(self, comp, d2, p, q) -> None:
+        self.comps.append(np.asarray(comp, dtype=np.int64))
+        self.d2s.append(np.asarray(d2, dtype=np.float64))
+        self.ps.append(np.asarray(p, dtype=np.int64))
+        self.qs.append(np.asarray(q, dtype=np.int64))
+
+
+def _seed_from_knn(
+    labels: np.ndarray,
+    knn_d2: np.ndarray,
+    knn_i: np.ndarray,
+    core2: np.ndarray,
+    mpts: int,
+    best_d2: np.ndarray,
+    cand: _Candidates,
+) -> None:
+    """Per-point best foreign kNN entry -> per-component candidate seeds.
+
+    One vectorized pass over the whole (n, k) kNN table.  Under mutual
+    reachability the metric is not monotone in the kNN rank (a far neighbor
+    can have a smaller core), so the minimum is taken across all columns
+    rather than the first foreign one.
+    """
+    n, k = knn_i.shape
+    d2 = np.where(labels[knn_i] != labels[:, None], knn_d2, np.inf)
+    if mpts > 1:
+        np.maximum(d2, core2[:, None], out=d2)
+        np.maximum(d2, core2[knn_i], out=d2)
+        d2[labels[knn_i] == labels[:, None]] = np.inf
+    j = np.argmin(d2, axis=1)
+    rows = np.arange(n)
+    dmin = d2[rows, j]
+    ok = np.isfinite(dmin)
+    if ok.any():
+        p = rows[ok]
+        q = knn_i[p, j[ok]]
+        comp = labels[p]
+        cand.add(comp, dmin[ok], p, q)
+        np.minimum.at(best_d2, comp, dmin[ok])
+    emit("emst.seed", "map", n * k)
+
+
+def _node_aggregate(
+    tree: KDTree,
+    leaves: np.ndarray,
+    leaf_starts: np.ndarray,
+    internal_desc: np.ndarray,
+    values_perm: np.ndarray,
+    op,
+    identity,
+) -> np.ndarray:
+    """Bottom-up per-node reduction of a tree-order per-point array.
+
+    Leaves are one ``op.reduceat`` over the permuted values (their slices
+    partition [0, n)); internal nodes combine children in reverse-id order
+    (children always have larger ids than their parent).
+    """
+    out = np.full(tree.n_nodes, identity, dtype=values_perm.dtype)
+    out[leaves] = op.reduceat(values_perm, leaf_starts)
+    left, right = tree.left, tree.right
+    o = out  # local alias for the loop
+    for node in internal_desc.tolist():
+        a = o[left[node]]
+        b = o[right[node]]
+        o[node] = a if (a <= b) == (op is np.minimum) else b
+    emit("emst.node_aggregate", "reduce", tree.n_nodes)
+    return out
+
+
+def _traverse(
+    tree: KDTree,
+    labels_perm: np.ndarray,
+    core2_perm: np.ndarray,
+    mpts: int,
+    best_d2: np.ndarray,
+    cand: _Candidates,
+    node_comp: np.ndarray,
+    node_bound2: np.ndarray,
+    node_min_core2: np.ndarray,
+    pts_perm: np.ndarray,
+) -> int:
+    """Level-synchronous dual-tree traversal; returns the pair-visit count.
+
+    The frontier of candidate node pairs is processed in bulk: lower bounds,
+    same-component tests and bound pruning are single vectorized passes over
+    the whole frontier (the GPU-natural formulation).  Leaf-leaf survivors
+    run their distance blocks -- which tightens ``best_d2`` -- *before* the
+    next frontier level is filtered, so pruning benefits from fresh bounds
+    level by level.  Leaf pairs are processed nearest-first within a level
+    to tighten bounds as early as possible.
+    """
+    box_lo, box_hi = tree.box_lo, tree.box_hi
+    start, end, left, right = tree.start, tree.end, tree.left, tree.right
+    indices = tree.indices
+    n_pts = end - start
+    n_nodes = tree.n_nodes
+
+    def lower_bounds(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        delta = np.maximum(box_lo[a] - box_hi[b], 0.0)
+        delta += np.maximum(box_lo[b] - box_hi[a], 0.0)
+        lb = np.einsum("ij,ij->i", delta, delta)
+        if mpts > 1:
+            np.maximum(lb, node_min_core2[a], out=lb)
+            np.maximum(lb, node_min_core2[b], out=lb)
+        emit("emst.pair_bounds", "map", int(a.size))
+        return lb
+
+    def prune(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Drop same-component and bound-hopeless pairs (vectorized)."""
+        ca = node_comp[a]
+        cb = node_comp[b]
+        alive = (ca < 0) | (ca != cb)
+        if alive.any():
+            lb = lower_bounds(a[alive], b[alive])
+            bound_a = np.where(
+                ca[alive] >= 0, best_d2[ca[alive]], node_bound2[a[alive]]
+            )
+            bound_b = np.where(
+                cb[alive] >= 0, best_d2[cb[alive]], node_bound2[b[alive]]
+            )
+            ok = lb < np.maximum(bound_a, bound_b)
+            sel = np.nonzero(alive)[0][ok]
+            emit("emst.pair_prune", "map", int(a.size))
+            return a[sel], b[sel]
+        return a[:0], b[:0]
+
+    visits = 0
+    fa = np.zeros(1, dtype=np.int64)
+    fb = np.zeros(1, dtype=np.int64)
+    while fa.size:
+        visits += int(fa.size)
+        fa, fb = prune(fa, fb)
+        a_leaf = left[fa] == -1
+        b_leaf = left[fb] == -1
+        both_leaf = a_leaf & b_leaf
+
+        # Leaf-leaf interactions, nearest pairs first for bound tightening.
+        la = fa[both_leaf]
+        lb_ = fb[both_leaf]
+        if la.size:
+            plb = lower_bounds(la, lb_)
+            order = np.argsort(plb, kind="stable")
+            for a_i, b_i, lb_i in zip(
+                la[order].tolist(), lb_[order].tolist(), plb[order].tolist()
+            ):
+                _leaf_pair_update(
+                    indices, labels_perm, core2_perm, pts_perm, start, end,
+                    mpts, best_d2, cand, a_i, b_i, lb_i,
+                )
+
+        # Expand the remaining pairs: split the side with more points.
+        ra = fa[~both_leaf]
+        rb = fb[~both_leaf]
+        if ra.size == 0:
+            break
+        expand_a = (left[ra] != -1) & (
+            (left[rb] == -1) | (n_pts[ra] >= n_pts[rb])
+        )
+        ea, eb = ra[expand_a], rb[expand_a]
+        sa, sb = ra[~expand_a], rb[~expand_a]
+        fa_next = np.concatenate([left[ea], right[ea], sa, sa])
+        fb_next = np.concatenate([eb, eb, left[sb], right[sb]])
+        # Canonical order + dedup (symmetric interaction).
+        lo = np.minimum(fa_next, fb_next)
+        hi = np.maximum(fa_next, fb_next)
+        key = lo * np.int64(n_nodes) + hi
+        uniq = np.unique(key)
+        emit("emst.frontier_dedup", "sort", int(key.size))
+        fa = (uniq // n_nodes).astype(np.int64)
+        fb = (uniq % n_nodes).astype(np.int64)
+    return visits
+
+
+def _leaf_pair_update(
+    indices: np.ndarray,
+    labels_perm: np.ndarray,
+    core2_perm: np.ndarray,
+    pts_perm: np.ndarray,
+    start: np.ndarray,
+    end: np.ndarray,
+    mpts: int,
+    best_d2: np.ndarray,
+    cand: _Candidates,
+    a: int,
+    b: int,
+    pair_lb: float = 0.0,
+) -> None:
+    """Bilateral candidate update for a leaf-leaf interaction (views only).
+
+    ``pair_lb`` is the pair's precomputed lower bound: a *live* bound check
+    against the current per-component candidates skips the distance block
+    when no contained component can improve anymore (the start-of-round node
+    bounds the traversal uses go stale as candidates tighten within a round;
+    this check does not).  Only strict improvements enter the candidate
+    pool, keeping its size O(components) rather than O(block rows).
+    """
+    sa, ea = start[a], end[a]
+    sb, eb = start[b], end[b]
+    if ea == sa or eb == sb:
+        return
+    la = labels_perm[sa:ea]
+    lb = labels_perm[sb:eb]
+    row_bound = best_d2[la]
+    col_bound = best_d2[lb]
+    if max(row_bound.max(), col_bound.max()) <= pair_lb:
+        emit("emst.leaf_skip", "map", int(la.size + lb.size))
+        return
+    d2 = sq_dist_block(pts_perm[sa:ea], pts_perm[sb:eb])
+    if mpts > 1:
+        np.maximum(d2, core2_perm[sa:ea, None], out=d2)
+        np.maximum(d2, core2_perm[None, sb:eb], out=d2)
+    d2[la[:, None] == lb[None, :]] = np.inf
+
+    pa = indices[sa:ea]
+    pb = indices[sb:eb]
+    # A-side: per point of `a`, its best partner in `b`; only strict
+    # improvements over the component's current candidate are recorded.
+    cols = np.argmin(d2, axis=1)
+    rd2 = d2[np.arange(pa.size), cols]
+    ok = rd2 < row_bound
+    if ok.any():
+        cand.add(la[ok], rd2[ok], pa[ok], pb[cols[ok]])
+        np.minimum.at(best_d2, la[ok], rd2[ok])
+    # B-side.
+    rows = np.argmin(d2, axis=0)
+    cd2 = d2[rows, np.arange(pb.size)]
+    ok = cd2 < col_bound
+    if ok.any():
+        cand.add(lb[ok], cd2[ok], pb[ok], pa[rows[ok]])
+        np.minimum.at(best_d2, lb[ok], cd2[ok])
+    emit("emst.leaf_pair", "map", int(pa.size * pb.size))
+
+
+def _resolve_candidates(
+    n: int, cand: _Candidates
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Global per-component minimum over the round's candidate pool,
+    deduplicated into undirected edges, in deterministic order."""
+    if not cand.comps:
+        return np.zeros(0, np.int64), np.zeros(0, np.int64), np.zeros(0)
+    comp = np.concatenate(cand.comps)
+    d2 = np.concatenate(cand.d2s)
+    p = np.concatenate(cand.ps)
+    q = np.concatenate(cand.qs)
+    # Canonical undirected endpoints so equal-weight ties resolve identically
+    # from both sides whenever the same pair is seen by both components.
+    lo = np.minimum(p, q)
+    hi = np.maximum(p, q)
+    order = np.lexsort((hi, lo, d2, comp))
+    emit("emst.resolve_sort", "sort", comp.size)
+    comp_s = comp[order]
+    head = np.ones(comp_s.size, dtype=bool)
+    head[1:] = comp_s[1:] != comp_s[:-1]
+    sel = order[head]
+    elo, ehi, ew2 = lo[sel], hi[sel], d2[sel]
+    # Undirected dedup (two components may choose the same pair), keeping
+    # deterministic (weight, endpoints) order for the cycle guard.
+    key = elo * np.int64(n) + ehi
+    _, first = np.unique(key, return_index=True)
+    emit("emst.dedup", "sort", int(key.size))
+    keep = np.sort(first)
+    eorder = np.lexsort((ehi[keep], elo[keep], ew2[keep]))
+    keep = keep[eorder]
+    return elo[keep], ehi[keep], ew2[keep]

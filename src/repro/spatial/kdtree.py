@@ -1,0 +1,304 @@
+"""Array-based kd-tree, built from scratch (the spatial-search substrate).
+
+The paper's HDBSCAN* pipeline leans on spatial trees (ArborX BVH) for
+core-distance kNN and for the EMST's dual-tree Boruvka [39].  This module
+provides the equivalent: a median-split kd-tree stored in flat arrays
+(structure-of-arrays, preorder node ids) so that both construction and
+queries run as bulk NumPy passes rather than per-point Python.
+
+Layout
+------
+* ``indices``  -- permutation of point ids; every node owns the contiguous
+  slice ``indices[start[i]:end[i]]``.
+* ``left/right`` -- child node ids (-1 for leaves); children are created
+  after their parent, so ``child id > parent id`` and a reversed id scan is
+  a valid bottom-up traversal (used for per-node component flags and
+  bounds in the EMST).
+* ``box_lo/box_hi`` -- tight bounding boxes per node.
+
+Queries
+-------
+``query_knn`` implements exact batched kNN in two passes: (1) route all
+queries to their home leaf simultaneously (one vectorized descend step per
+tree level) and brute-force there to initialize per-query bounds, then (2) a
+stack traversal that carries *query subsets* down the tree, pruning each
+query by its current k-th distance against the node box.  Leaf interactions
+are (queries x leaf-points) distance blocks -- GEMM-shaped work, no Python
+per point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..parallel.machine import emit
+from .distances import sq_dist_block
+
+__all__ = ["KDTree"]
+
+
+@dataclass
+class KDTree:
+    """Immutable kd-tree over an ``(n, d)`` float64 point set."""
+
+    points: np.ndarray       # (n, d), the caller's points (not copied)
+    indices: np.ndarray      # (n,) permutation; leaves own slices
+    split_dim: np.ndarray    # (n_nodes,)
+    split_val: np.ndarray    # (n_nodes,)
+    left: np.ndarray         # (n_nodes,) child id or -1
+    right: np.ndarray        # (n_nodes,)
+    start: np.ndarray        # (n_nodes,) slice into indices
+    end: np.ndarray          # (n_nodes,)
+    box_lo: np.ndarray       # (n_nodes, d)
+    box_hi: np.ndarray       # (n_nodes, d)
+    leaf_size: int
+
+    # ------------------------------------------------------------------ build
+    @classmethod
+    def build(cls, points: np.ndarray, leaf_size: int = 32) -> "KDTree":
+        """Construct by recursive median split on the widest box dimension."""
+        points = np.ascontiguousarray(points, dtype=np.float64)
+        if points.ndim != 2:
+            raise ValueError(f"points must be (n, d), got {points.shape}")
+        if leaf_size < 1:
+            raise ValueError("leaf_size must be >= 1")
+        n, d = points.shape
+        indices = np.arange(n, dtype=np.int64)
+
+        split_dim: list[int] = []
+        split_val: list[float] = []
+        left: list[int] = []
+        right: list[int] = []
+        start: list[int] = []
+        end: list[int] = []
+        box_lo: list[np.ndarray] = []
+        box_hi: list[np.ndarray] = []
+
+        def new_node(s: int, e: int) -> int:
+            i = len(start)
+            start.append(s)
+            end.append(e)
+            split_dim.append(-1)
+            split_val.append(0.0)
+            left.append(-1)
+            right.append(-1)
+            if e > s:
+                pts = points[indices[s:e]]
+                box_lo.append(pts.min(axis=0))
+                box_hi.append(pts.max(axis=0))
+            else:
+                box_lo.append(np.zeros(d))
+                box_hi.append(np.zeros(d))
+            return i
+
+        stack = [new_node(0, n)] if n else []
+        while stack:
+            node = stack.pop()
+            s, e = start[node], end[node]
+            if e - s <= leaf_size:
+                continue
+            lo, hi = box_lo[node], box_hi[node]
+            dim = int(np.argmax(hi - lo))
+            if hi[dim] == lo[dim]:
+                continue  # all points identical: keep as (possibly big) leaf
+            mid = (e - s) // 2
+            seg = indices[s:e]
+            part = np.argpartition(points[seg, dim], mid)
+            indices[s:e] = seg[part]
+            emit("kdtree.partition", "sort", e - s)
+            split_dim[node] = dim
+            split_val[node] = float(points[indices[s + mid], dim])
+            lchild = new_node(s, s + mid)
+            rchild = new_node(s + mid, e)
+            left[node] = lchild
+            right[node] = rchild
+            stack.append(lchild)
+            stack.append(rchild)
+
+        return cls(
+            points=points,
+            indices=indices,
+            split_dim=np.asarray(split_dim, dtype=np.int64),
+            split_val=np.asarray(split_val, dtype=np.float64),
+            left=np.asarray(left, dtype=np.int64),
+            right=np.asarray(right, dtype=np.int64),
+            start=np.asarray(start, dtype=np.int64),
+            end=np.asarray(end, dtype=np.int64),
+            box_lo=np.asarray(box_lo, dtype=np.float64),
+            box_hi=np.asarray(box_hi, dtype=np.float64),
+            leaf_size=leaf_size,
+        )
+
+    @property
+    def n_points(self) -> int:
+        return int(self.points.shape[0])
+
+    @property
+    def points_perm(self) -> np.ndarray:
+        """Points permuted into tree order: every node's points are the
+        contiguous slice ``points_perm[start[i]:end[i]]`` (a view, no copy
+        per access).  Computed lazily and cached."""
+        cached = getattr(self, "_points_perm", None)
+        if cached is None:
+            cached = self.points[self.indices]
+            object.__setattr__(self, "_points_perm", cached)
+        return cached
+
+    def leaves_by_start(self) -> np.ndarray:
+        """Leaf node ids ordered by slice start; slices partition [0, n)."""
+        cached = getattr(self, "_leaves_by_start", None)
+        if cached is None:
+            leaves = self.leaf_ids()
+            cached = leaves[np.argsort(self.start[leaves], kind="stable")]
+            object.__setattr__(self, "_leaves_by_start", cached)
+        return cached
+
+    @property
+    def n_nodes(self) -> int:
+        return int(self.start.size)
+
+    def is_leaf(self, node: int | np.ndarray):
+        return self.left[node] == -1
+
+    def leaf_ids(self) -> np.ndarray:
+        return np.nonzero(self.left == -1)[0]
+
+    def leaf_points(self, node: int) -> np.ndarray:
+        """Point ids owned by a leaf node."""
+        return self.indices[self.start[node]: self.end[node]]
+
+    # ----------------------------------------------------------------- boxes
+    def min_sq_dist_point_box(
+        self, q: np.ndarray, node_ids: np.ndarray
+    ) -> np.ndarray:
+        """Min squared distance from each query row to each node's box.
+
+        ``q`` is (m, d), ``node_ids`` (m,): elementwise pairing.
+        """
+        lo = self.box_lo[node_ids]
+        hi = self.box_hi[node_ids]
+        delta = np.maximum(lo - q, 0.0) + np.maximum(q - hi, 0.0)
+        emit("kdtree.point_box_dist", "map", int(np.size(node_ids)))
+        return np.einsum("ij,ij->i", delta, delta)
+
+    def min_sq_dist_box_box(self, a: int, b: int) -> float:
+        """Min squared distance between two nodes' boxes."""
+        delta = np.maximum(self.box_lo[a] - self.box_hi[b], 0.0)
+        delta += np.maximum(self.box_lo[b] - self.box_hi[a], 0.0)
+        return float(delta @ delta)
+
+    # ------------------------------------------------------------------- kNN
+    def query_knn(
+        self, queries: np.ndarray, k: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Exact k nearest neighbors of each query row.
+
+        Returns ``(dists, ids)`` of shape (m, k), rows sorted ascending.
+        ``k`` is clamped to the point count.  Distances are Euclidean.
+        """
+        queries = np.ascontiguousarray(queries, dtype=np.float64)
+        if queries.ndim != 2 or queries.shape[1] != self.points.shape[1]:
+            raise ValueError("queries must be (m, d) with matching d")
+        n = self.n_points
+        if n == 0:
+            raise ValueError("cannot query an empty tree")
+        k = min(k, n)
+        m = queries.shape[0]
+
+        best_d2 = np.full((m, k), np.inf)
+        best_id = np.full((m, k), -1, dtype=np.int64)
+        bound = np.full(m, np.inf)  # current k-th squared distance
+
+        # --- pass 1: route every query to its home leaf, brute-force there
+        node = np.zeros(m, dtype=np.int64)
+        while True:
+            internal = self.left[node] >= 0
+            if not internal.any():
+                break
+            sel = np.nonzero(internal)[0]
+            nd = node[sel]
+            dim = self.split_dim[nd]
+            go_left = queries[sel, dim] < self.split_val[nd]
+            node[sel] = np.where(go_left, self.left[nd], self.right[nd])
+            emit("kdtree.route", "gather", int(sel.size))
+        order = np.argsort(node, kind="stable")
+        emit("kdtree.group_by_leaf", "sort", m)
+        boundaries = np.nonzero(np.diff(node[order]))[0] + 1
+        groups = np.split(order, boundaries)
+        for grp in groups:
+            if grp.size == 0:
+                continue
+            leaf = int(node[grp[0]])
+            self._leaf_update(queries, grp, leaf, k, best_d2, best_id, bound)
+
+        # --- pass 2: bounded traversal with query subsets
+        all_q = np.arange(m, dtype=np.int64)
+        stack: list[tuple[int, np.ndarray]] = [(0, all_q)]
+        while stack:
+            nid, qs = stack.pop()
+            d2box = self.min_sq_dist_point_box(queries[qs], np.full(qs.size, nid))
+            qs = qs[d2box < bound[qs]]
+            if qs.size == 0:
+                continue
+            if self.left[nid] == -1:
+                self._leaf_update(queries, qs, nid, k, best_d2, best_id, bound)
+                continue
+            # descend closer child first (stack: push farther first)
+            lc, rc = int(self.left[nid]), int(self.right[nid])
+            dim = int(self.split_dim[nid])
+            med = self.split_val[nid]
+            go_left_first = np.median(queries[qs, dim]) < med
+            if go_left_first:
+                stack.append((rc, qs))
+                stack.append((lc, qs))
+            else:
+                stack.append((lc, qs))
+                stack.append((rc, qs))
+
+        # sort rows ascending
+        row_order = np.argsort(best_d2, axis=1, kind="stable")
+        emit("kdtree.sort_results", "sort", m * k)
+        best_d2 = np.take_along_axis(best_d2, row_order, axis=1)
+        best_id = np.take_along_axis(best_id, row_order, axis=1)
+        return np.sqrt(best_d2), best_id
+
+    def _leaf_update(
+        self,
+        queries: np.ndarray,
+        qs: np.ndarray,
+        leaf: int,
+        k: int,
+        best_d2: np.ndarray,
+        best_id: np.ndarray,
+        bound: np.ndarray,
+    ) -> None:
+        """Brute-force a (query-subset x leaf) block into the k-best state.
+
+        Skips leaf points that are already present in a query's candidate
+        list by deduplicating on ids after the merge.
+        """
+        pts = self.leaf_points(leaf)
+        if pts.size == 0:
+            return
+        d2 = sq_dist_block(queries[qs], self.points[pts])
+        merged_d = np.concatenate([best_d2[qs], d2], axis=1)
+        merged_i = np.concatenate(
+            [best_id[qs], np.broadcast_to(pts, (qs.size, pts.size))], axis=1
+        )
+        # Drop duplicate ids (a pass-1 home leaf revisited in pass 2): keep
+        # the first occurrence by masking later ones to inf.
+        sort_cols = np.argsort(merged_i, axis=1, kind="stable")
+        si = np.take_along_axis(merged_i, sort_cols, axis=1)
+        dup = np.zeros_like(si, dtype=bool)
+        dup[:, 1:] = (si[:, 1:] == si[:, :-1]) & (si[:, 1:] >= 0)
+        mask = np.zeros(merged_d.shape, dtype=bool)
+        np.put_along_axis(mask, sort_cols, dup, axis=1)
+        merged_d[mask] = np.inf
+
+        sel = np.argpartition(merged_d, k - 1, axis=1)[:, :k]
+        best_d2[qs] = np.take_along_axis(merged_d, sel, axis=1)
+        best_id[qs] = np.take_along_axis(merged_i, sel, axis=1)
+        bound[qs] = best_d2[qs].max(axis=1)
+        emit("kdtree.leaf_update", "map", int(qs.size * pts.size))

@@ -1,0 +1,34 @@
+"""Core data structures: canonical edge lists, trees, dendrograms."""
+
+from .dendrogram import EDGE_ALPHA, EDGE_CHAIN, EDGE_LEAF, Dendrogram
+from .edgelist import SortedEdgeList, as_edge_arrays, sort_edges_descending
+from .euler import EulerTour, euler_subtree_sizes, euler_tour
+from .tree import (
+    adjacency_lists,
+    edge_path,
+    incident_edges,
+    is_tree,
+    random_spanning_tree,
+    validate_tree,
+    vertex_path,
+)
+
+__all__ = [
+    "Dendrogram",
+    "EDGE_LEAF",
+    "EDGE_CHAIN",
+    "EDGE_ALPHA",
+    "SortedEdgeList",
+    "sort_edges_descending",
+    "as_edge_arrays",
+    "EulerTour",
+    "euler_tour",
+    "euler_subtree_sizes",
+    "is_tree",
+    "validate_tree",
+    "adjacency_lists",
+    "incident_edges",
+    "vertex_path",
+    "edge_path",
+    "random_spanning_tree",
+]

@@ -1,0 +1,102 @@
+"""Weighted edge lists and the canonical edge order.
+
+Everything downstream of MST construction operates on a
+:class:`SortedEdgeList`: the MST's edges sorted by weight *descending*, ties
+broken by original edge id ascending.  Under this total order the single-
+linkage dendrogram is unique (Section 3.1.1 of the paper), which is what lets
+us require exact parent-array equality between PANDORA and the bottom-up
+oracle.  Edge index 0 is the heaviest edge and is always the dendrogram root.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..parallel import lexsort
+
+__all__ = ["SortedEdgeList", "sort_edges_descending", "as_edge_arrays"]
+
+
+def as_edge_arrays(
+    u, v, w
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Normalize edge inputs to (int64, int64, float64) 1-D arrays."""
+    u = np.ascontiguousarray(u, dtype=np.int64)
+    v = np.ascontiguousarray(v, dtype=np.int64)
+    w = np.ascontiguousarray(w, dtype=np.float64)
+    if not (u.ndim == v.ndim == w.ndim == 1):
+        raise ValueError("edge arrays must be 1-D")
+    if not (u.size == v.size == w.size):
+        raise ValueError(
+            f"edge arrays must have equal length, got {u.size}/{v.size}/{w.size}"
+        )
+    if np.isnan(w).any():
+        raise ValueError("edge weights must not contain NaN")
+    if u.size and (min(u.min(), v.min()) < 0):
+        raise ValueError("vertex ids must be non-negative")
+    if np.any(u == v):
+        raise ValueError("self-loop edge found; a tree has no self-loops")
+    return u, v, w
+
+
+@dataclass(frozen=True)
+class SortedEdgeList:
+    """Edges of a tree in canonical descending-weight order.
+
+    Attributes
+    ----------
+    u, v:
+        ``(n,)`` endpoint arrays in sorted order.
+    w:
+        ``(n,)`` weights, non-increasing.
+    order:
+        Permutation such that ``u[i] == u_input[order[i]]``: maps sorted edge
+        index -> original input edge id.
+    n_vertices:
+        Number of tree vertices (``n + 1`` for a tree with n edges, but
+        callers may pass a larger ambient vertex count).
+    """
+
+    u: np.ndarray
+    v: np.ndarray
+    w: np.ndarray
+    order: np.ndarray
+    n_vertices: int
+
+    @property
+    def n_edges(self) -> int:
+        return int(self.u.size)
+
+    def endpoints(self) -> np.ndarray:
+        """``(n, 2)`` endpoint array (a copy)."""
+        return np.stack([self.u, self.v], axis=1)
+
+    def rank_of_input_edge(self) -> np.ndarray:
+        """Inverse permutation: original input edge id -> sorted index."""
+        inv = np.empty_like(self.order)
+        inv[self.order] = np.arange(self.order.size, dtype=self.order.dtype)
+        return inv
+
+    def __post_init__(self) -> None:
+        if self.n_edges and np.any(np.diff(self.w) > 0):
+            raise ValueError("weights must be non-increasing in a SortedEdgeList")
+
+
+def sort_edges_descending(u, v, w, n_vertices: int | None = None) -> SortedEdgeList:
+    """Sort tree edges by (weight desc, input id asc) -- the canonical order.
+
+    This is the O(n log n) sort that Theorem 4 shows is unavoidable; it is
+    accounted as a sort kernel in the cost model.
+    """
+    u, v, w = as_edge_arrays(u, v, w)
+    if n_vertices is None:
+        n_vertices = int(max(u.max(initial=-1), v.max(initial=-1)) + 1)
+    ids = np.arange(u.size, dtype=np.int64)
+    # lexsort: last key is primary.  -w ascending == w descending; ties fall
+    # back to input id ascending because lexsort is stable across keys.
+    order = lexsort((ids, -w), name="edges.sort_desc")
+    return SortedEdgeList(
+        u=u[order], v=v[order], w=w[order], order=order, n_vertices=n_vertices
+    )

@@ -1,0 +1,135 @@
+"""Euler tours of trees (the contraction alternative of Section 5).
+
+An Euler tour replaces each undirected tree edge {u, v} with two arcs
+(u -> v) and (v -> u) and threads them into a single cycle that traverses
+every edge exactly twice.  With a tour in hand, subtree sizes, tree
+splitting, and contraction all reduce to prefix sums -- which is why the
+mixed algorithm of Wang et al. [46] uses it.  The catch the paper points
+out: an MST arrives as an unordered *edge list*, and producing the tour
+requires grouping arcs by source (a sort) and *list ranking* to linearize
+the cycle, which in practice costs as much as the entire dendrogram
+construction.  PANDORA's union-find contraction avoids this entirely.
+
+This module implements the full pipeline -- arc construction, successor
+function, list-ranked linearization, and Euler-tour subtree sizes -- so the
+trade-off is measurable (``bench_ablation_contraction.py``) and so tests
+gain an independent oracle for subtree quantities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..parallel.listrank import list_rank
+from ..parallel.machine import emit
+
+__all__ = ["EulerTour", "euler_tour", "euler_subtree_sizes"]
+
+
+@dataclass
+class EulerTour:
+    """Euler tour of a tree rooted at ``root``.
+
+    Arc ``a`` of ``2m`` runs from ``src[a]`` to ``dst[a]``; arc ``a ^ 1`` is
+    its twin (reversal).  ``position[a]`` is the arc's index along the tour
+    starting from the root's first outgoing arc.
+    """
+
+    src: np.ndarray        # (2m,)
+    dst: np.ndarray        # (2m,)
+    succ: np.ndarray       # (2m,) successor arc along the tour
+    position: np.ndarray   # (2m,) rank along the tour, 0 = first arc
+    root: int
+
+    @property
+    def n_arcs(self) -> int:
+        return int(self.src.size)
+
+    def tour_arcs(self) -> np.ndarray:
+        """Arc ids in tour order."""
+        order = np.empty(self.n_arcs, dtype=np.int64)
+        order[self.position] = np.arange(self.n_arcs)
+        return order
+
+
+def euler_tour(n_vertices: int, u: np.ndarray, v: np.ndarray,
+               root: int = 0) -> EulerTour:
+    """Build an Euler tour from an unordered edge list.
+
+    The kernel sequence mirrors what a GPU implementation must do, and is
+    accounted as such: arc sort by source (to group each vertex's outgoing
+    arcs), twin lookup, successor construction (each arc's successor is the
+    arc after its twin in the twin's source block, cyclically), and a list
+    ranking to linearize.
+    """
+    u = np.asarray(u, dtype=np.int64)
+    v = np.asarray(v, dtype=np.int64)
+    m = u.size
+    if m == 0:
+        return EulerTour(
+            src=np.zeros(0, np.int64), dst=np.zeros(0, np.int64),
+            succ=np.zeros(0, np.int64), position=np.zeros(0, np.int64),
+            root=root,
+        )
+    # arcs 2k = u->v, 2k+1 = v->u  (twin = arc ^ 1)
+    src = np.empty(2 * m, dtype=np.int64)
+    dst = np.empty(2 * m, dtype=np.int64)
+    src[0::2], dst[0::2] = u, v
+    src[1::2], dst[1::2] = v, u
+
+    order = np.lexsort((np.arange(2 * m), src))
+    emit("euler.arc_sort", "sort", 2 * m)
+    # position of each arc within the sorted layout
+    pos_sorted = np.empty(2 * m, dtype=np.int64)
+    pos_sorted[order] = np.arange(2 * m)
+    # block boundaries per source vertex
+    first = np.searchsorted(src[order], np.arange(n_vertices), side="left")
+    last = np.searchsorted(src[order], np.arange(n_vertices), side="right")
+    emit("euler.blocks", "map", n_vertices)
+
+    # successor of arc a: the arc after twin(a) inside twin's source block,
+    # wrapping to the block start
+    twin = np.arange(2 * m, dtype=np.int64) ^ 1
+    t = twin
+    t_sorted_pos = pos_sorted[t]
+    t_src = src[t]
+    nxt_pos = t_sorted_pos + 1
+    wrap = nxt_pos >= last[t_src]
+    nxt_pos[wrap] = first[t_src[wrap]]
+    succ = order[nxt_pos]
+    emit("euler.successors", "gather", 2 * m)
+
+    # linearize: break the cycle at the root's first outgoing arc
+    start = order[first[root]]
+    succ_open = succ.copy()
+    # the arc whose successor is `start` becomes the tail
+    prev_of_start = np.nonzero(succ == start)[0][0]
+    succ_open[prev_of_start] = -1
+    rank = list_rank(succ_open)  # distance to tail
+    position = rank.max() - rank
+    return EulerTour(src=src, dst=dst, succ=succ, position=position, root=root)
+
+
+def euler_subtree_sizes(
+    n_vertices: int, u: np.ndarray, v: np.ndarray, root: int = 0
+) -> np.ndarray:
+    """Vertices in each edge's far-side subtree, via Euler tour positions.
+
+    For tree edge k with arcs (a=2k, twin=2k+1), let ``down`` be the arc
+    pointing away from the root (the one visited first).  The subtree under
+    ``down`` contains exactly ``(position[up] - position[down] + 1) / 2``
+    vertices -- a pure arithmetic map once the tour exists.  Used as an
+    independent oracle for subtree computations.
+    """
+    tour = euler_tour(n_vertices, u, v, root)
+    m = np.asarray(u).size
+    a = np.arange(m) * 2
+    b = a + 1
+    pa = tour.position[a]
+    pb = tour.position[b]
+    lo = np.minimum(pa, pb)
+    hi = np.maximum(pa, pb)
+    emit("euler.subtree_sizes", "map", m)
+    return ((hi - lo + 1) // 2).astype(np.int64)

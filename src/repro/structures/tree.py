@@ -1,0 +1,188 @@
+"""Tree/forest helpers on edge lists: validation, adjacency, paths.
+
+These are support routines for tests, theorem checks (e.g. Theorem 1 needs
+the path between two edges) and input validation.  They are deliberately
+simple; nothing here is on the performance-critical path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..parallel.connected import connected_components
+
+__all__ = [
+    "is_tree",
+    "validate_tree",
+    "adjacency_lists",
+    "vertex_path",
+    "edge_path",
+    "incident_edges",
+    "random_spanning_tree",
+]
+
+
+def is_tree(n_vertices: int, u: np.ndarray, v: np.ndarray) -> bool:
+    """True iff the edges form a spanning tree on ``n_vertices`` vertices."""
+    u = np.asarray(u, dtype=np.int64)
+    v = np.asarray(v, dtype=np.int64)
+    if u.size != n_vertices - 1:
+        return False
+    if n_vertices == 0:
+        return u.size == 0
+    labels = connected_components(n_vertices, np.stack([u, v], axis=1))
+    return bool((labels == labels[0]).all())
+
+
+def validate_tree(n_vertices: int, u: np.ndarray, v: np.ndarray) -> None:
+    """Raise ``ValueError`` with a diagnostic if edges are not a spanning tree."""
+    u = np.asarray(u, dtype=np.int64)
+    v = np.asarray(v, dtype=np.int64)
+    if u.size != max(n_vertices - 1, 0):
+        raise ValueError(
+            f"a spanning tree on {n_vertices} vertices has {n_vertices - 1} "
+            f"edges, got {u.size}"
+        )
+    if n_vertices == 0:
+        return
+    labels = connected_components(n_vertices, np.stack([u, v], axis=1))
+    n_comp = np.unique(labels).size
+    if n_comp != 1:
+        raise ValueError(
+            f"edges do not connect the graph: {n_comp} components "
+            f"(edge count implies a cycle exists as well)"
+        )
+
+
+def adjacency_lists(
+    n_vertices: int, u: np.ndarray, v: np.ndarray
+) -> list[list[tuple[int, int]]]:
+    """Adjacency as ``adj[vertex] = [(neighbor, edge_index), ...]``."""
+    adj: list[list[tuple[int, int]]] = [[] for _ in range(n_vertices)]
+    for k in range(len(u)):
+        a, b = int(u[k]), int(v[k])
+        adj[a].append((b, k))
+        adj[b].append((a, k))
+    return adj
+
+
+def incident_edges(
+    n_vertices: int, u: np.ndarray, v: np.ndarray
+) -> list[list[int]]:
+    """``Incident(v)`` sets of the paper: edge indices touching each vertex."""
+    inc: list[list[int]] = [[] for _ in range(n_vertices)]
+    for k in range(len(u)):
+        inc[int(u[k])].append(k)
+        inc[int(v[k])].append(k)
+    return inc
+
+
+def vertex_path(
+    n_vertices: int, u: np.ndarray, v: np.ndarray, a: int, b: int
+) -> list[int]:
+    """Vertices on the unique tree path from ``a`` to ``b`` (inclusive).
+
+    BFS; intended for tests on small trees.
+    """
+    adj = adjacency_lists(n_vertices, u, v)
+    prev = {a: a}
+    queue = [a]
+    while queue:
+        nxt: list[int] = []
+        for x in queue:
+            if x == b:
+                queue = []
+                break
+            for y, _e in adj[x]:
+                if y not in prev:
+                    prev[y] = x
+                    nxt.append(y)
+        else:
+            queue = nxt
+            continue
+        break
+    if b not in prev:
+        raise ValueError(f"vertices {a} and {b} are not connected")
+    path = [b]
+    while path[-1] != a:
+        path.append(prev[path[-1]])
+    path.reverse()
+    return path
+
+
+def edge_path(
+    n_vertices: int, u: np.ndarray, v: np.ndarray, ei: int, ej: int
+) -> list[int]:
+    """Edge indices on ``Path(ei, ej)`` as defined in the paper (Def. 1).
+
+    The path connecting two edges is the edge sequence of the shortest walk
+    that starts with ``ei`` and ends with ``ej``; both endpoints' edges are
+    included.  For ``ei == ej`` the path is ``[ei]``.
+    """
+    if ei == ej:
+        return [ei]
+    adj = adjacency_lists(n_vertices, u, v)
+    # BFS over vertices from both endpoints of ei, tracking the edge used.
+    starts = [int(u[ei]), int(v[ei])]
+    prev_edge: dict[int, int] = {}
+    prev_vert: dict[int, int] = {}
+    seen = set(starts)
+    queue = list(starts)
+    target = {int(u[ej]), int(v[ej])}
+    hit = None
+    while queue and hit is None:
+        nxt: list[int] = []
+        for x in queue:
+            for y, e in adj[x]:
+                if e == ei or y in seen:
+                    continue
+                seen.add(y)
+                prev_edge[y] = e
+                prev_vert[y] = x
+                if e == ej:
+                    hit = y
+                    break
+                nxt.append(y)
+            if hit is not None:
+                break
+        queue = nxt
+    if hit is None:
+        # ej is adjacent to ei (shares a vertex): path is just the two edges
+        shared = ({int(u[ei]), int(v[ei])} & target)
+        if shared:
+            return [ei, ej]
+        raise ValueError(f"edges {ei} and {ej} are not connected")
+    path = [ej]
+    x = prev_vert[hit]
+    while x not in starts:
+        path.append(prev_edge[x])
+        x = prev_vert[x]
+    path.append(ei)
+    path.reverse()
+    return path
+
+
+def random_spanning_tree(
+    n_vertices: int, rng: np.random.Generator, skew: float = 0.0
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Random weighted spanning tree for tests and property checks.
+
+    Each vertex ``i > 0`` attaches to a uniformly random earlier vertex,
+    except with probability ``skew`` it attaches to vertex ``i - 1``; high
+    ``skew`` yields path-like trees whose dendrograms are highly skewed --
+    the hard case the paper targets.
+
+    Returns ``(u, v, w)`` with distinct weights.
+    """
+    if n_vertices < 1:
+        raise ValueError("need at least one vertex")
+    n = n_vertices - 1
+    u = np.zeros(n, dtype=np.int64)
+    for i in range(1, n_vertices):
+        if i > 1 and rng.random() < skew:
+            u[i - 1] = i - 1
+        else:
+            u[i - 1] = rng.integers(0, i)
+    v = np.arange(1, n_vertices, dtype=np.int64)
+    w = rng.permutation(n).astype(np.float64) + rng.random(n) * 0.5
+    return u, v, w

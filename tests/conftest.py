@@ -1,0 +1,18 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def random_tree(rng: np.random.Generator, n_vertices: int, skew: float = 0.0):
+    """Random weighted spanning tree (re-exported convenience)."""
+    from repro.structures.tree import random_spanning_tree
+
+    return random_spanning_tree(n_vertices, rng, skew=skew)

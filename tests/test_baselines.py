@@ -1,0 +1,119 @@
+"""Baseline algorithm tests: top-down, bottom-up, mixed (Section 2.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import dendrogram_bottomup, dendrogram_mixed, dendrogram_topdown
+from repro.core.baselines.mixed import MixedStats
+from repro.core.baselines.topdown import TopDownResult
+from repro.structures.tree import random_spanning_tree
+
+
+class TestBottomUp:
+    def test_two_vertices(self):
+        d = dendrogram_bottomup([0], [1], [2.0])
+        d.validate()
+        assert d.parent[0] == -1
+        assert d.parent[1] == 0 and d.parent[2] == 0
+
+    def test_vertex_parent_is_lightest_incident(self, rng):
+        """Processing order implies P(v) = lightest incident edge."""
+        u, v, w = random_spanning_tree(30, rng)
+        d = dendrogram_bottomup(u, v, w)
+        e = d.edges
+        for vert in range(30):
+            incident = [
+                k for k in range(d.n_edges)
+                if vert in (int(e.u[k]), int(e.v[k]))
+            ]
+            assert d.vertex_parents()[vert] == max(incident)
+
+    def test_validates_on_random(self, rng):
+        for _ in range(20):
+            u, v, w = random_spanning_tree(int(rng.integers(2, 80)), rng)
+            dendrogram_bottomup(u, v, w).validate()
+
+
+class TestTopDown:
+    def test_matches_oracle(self, rng):
+        for _ in range(30):
+            n = int(rng.integers(2, 60))
+            u, v, w = random_spanning_tree(n, rng, skew=float(rng.random()))
+            ref = dendrogram_bottomup(u, v, w)
+            got = dendrogram_topdown(u, v, w)
+            assert np.array_equal(got.parent, ref.parent)
+
+    def test_work_counter_quadratic_on_path(self, rng):
+        """O(nh): a descending path (h = n) costs ~n^2/2; a balanced tree
+        costs ~n log n.  Ratio test on equal sizes."""
+        n = 256
+        u = np.arange(n)
+        v = np.arange(1, n + 1)
+        w_path = np.arange(n, 0, -1).astype(float)  # one-sided splits
+        r_path = dendrogram_topdown(u, v, w_path, return_work=True)
+        assert isinstance(r_path, TopDownResult)
+
+        # balanced binary tree with heavy edges near the root
+        edges = [((i - 1) // 2, i) for i in range(1, n + 1)]
+        bu, bv = map(np.array, zip(*edges))
+        bw = np.arange(len(edges), 0, -1).astype(float)
+        r_bal = dendrogram_topdown(bu, bv, bw, return_work=True)
+        assert r_path.work > 4 * r_bal.work, (
+            f"path work {r_path.work} should dwarf balanced {r_bal.work}"
+        )
+
+    def test_single_vertex(self):
+        d = dendrogram_topdown([], [], [], n_vertices=1)
+        assert d.n_edges == 0
+
+
+class TestMixed:
+    def test_matches_oracle(self, rng):
+        for _ in range(30):
+            n = int(rng.integers(2, 80))
+            u, v, w = random_spanning_tree(n, rng, skew=float(rng.random()))
+            ref = dendrogram_bottomup(u, v, w)
+            got = dendrogram_mixed(u, v, w)
+            assert np.array_equal(got.parent, ref.parent)
+
+    @pytest.mark.parametrize("frac", [0.05, 0.1, 0.5, 1.0])
+    def test_any_top_fraction(self, rng, frac):
+        u, v, w = random_spanning_tree(60, rng)
+        ref = dendrogram_bottomup(u, v, w)
+        got = dendrogram_mixed(u, v, w, top_fraction=frac)
+        assert np.array_equal(got.parent, ref.parent)
+
+    def test_invalid_fraction_rejected(self, rng):
+        u, v, w = random_spanning_tree(10, rng)
+        with pytest.raises(ValueError):
+            dendrogram_mixed(u, v, w, top_fraction=0.0)
+        with pytest.raises(ValueError):
+            dendrogram_mixed(u, v, w, top_fraction=1.5)
+
+    def test_stats_reflect_imbalance(self, rng):
+        """On a weight-descending path, removing the top tenth leaves one
+        dominant subtree -- the imbalance pathology of Section 2.3.3."""
+        n = 200
+        u = np.arange(n)
+        v = np.arange(1, n + 1)
+        w = np.arange(n, 0, -1).astype(float)
+        _, stats = dendrogram_mixed(u, v, w, return_stats=True)
+        assert isinstance(stats, MixedStats)
+        assert stats.largest_fraction > 0.85
+
+    def test_stats_balanced_on_random_weights(self, rng):
+        """Random weights on a random tree split into many subtrees."""
+        u, v, w = random_spanning_tree(400, rng)
+        _, stats = dendrogram_mixed(u, v, w, return_stats=True)
+        assert stats.n_subtrees > 10
+
+    def test_duplicate_weights(self, rng):
+        for _ in range(10):
+            n = int(rng.integers(3, 50))
+            u, v, _ = random_spanning_tree(n, rng)
+            w = rng.integers(0, 3, size=n - 1).astype(float)
+            ref = dendrogram_bottomup(u, v, w)
+            got = dendrogram_mixed(u, v, w)
+            assert np.array_equal(got.parent, ref.parent)

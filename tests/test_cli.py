@@ -1,0 +1,54 @@
+"""CLI (`python -m repro`) tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_datasets_lists_registry(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "Hacc37M" in out and "VisualSim10M5D" in out
+
+    def test_devices(self, capsys):
+        assert main(["devices", "--n", "100000"]) == 0
+        out = capsys.readouterr().out
+        assert "MI250X" in out and "A100" in out
+
+    def test_cluster_registry_dataset(self, capsys):
+        assert main(["cluster", "Hacc37M", "--n", "2000", "--mpts", "2",
+                     "--min-cluster-size", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "clusters:" in out and "noise:" in out
+
+    def test_cluster_npy_file(self, tmp_path, capsys, rng):
+        pts = rng.normal(size=(400, 2))
+        src = tmp_path / "pts.npy"
+        np.save(src, pts)
+        labels_out = tmp_path / "labels.npy"
+        assert main(["cluster", str(src), "--out", str(labels_out)]) == 0
+        labels = np.load(labels_out)
+        assert labels.shape == (400,)
+
+    def test_dendrogram_with_verify_and_newick(self, tmp_path, capsys, rng):
+        pts = rng.normal(size=(300, 2))
+        src = tmp_path / "pts.npy"
+        np.save(src, pts)
+        nwk = tmp_path / "tree.nwk"
+        assert main(["dendrogram", str(src), "--verify",
+                     "--newick", str(nwk)]) == 0
+        out = capsys.readouterr().out
+        assert "IDENTICAL" in out
+        assert nwk.read_text().strip().endswith(";")
+
+    def test_unknown_dataset_errors(self):
+        with pytest.raises(ValueError):
+            main(["cluster", "NoSuchDataset"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

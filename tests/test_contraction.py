@@ -1,0 +1,121 @@
+"""Multilevel tree contraction tests (Section 3.2 / 4.2 bounds)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.contraction import (
+    contract_multilevel,
+    max_contraction_levels,
+)
+from repro.structures.edgelist import sort_edges_descending
+from repro.structures.tree import is_tree, random_spanning_tree
+
+
+def sorted_tree(rng, n, skew=0.0):
+    u, v, w = random_spanning_tree(n, rng, skew=skew)
+    return sort_edges_descending(u, v, w)
+
+
+class TestContractionLevels:
+    def test_star_single_level(self, rng):
+        u = np.zeros(6, dtype=np.int64)
+        v = np.arange(1, 7, dtype=np.int64)
+        w = np.arange(6, 0, -1).astype(float)
+        e = sort_edges_descending(u, v, w)
+        levels = contract_multilevel(e.u, e.v, e.n_vertices)
+        assert len(levels) == 1
+        assert levels[0].n_alpha == 0
+
+    def test_level_sizes_halve(self, rng):
+        """Each contraction at least halves the edge count."""
+        for _ in range(15):
+            e = sorted_tree(rng, int(rng.integers(2, 120)))
+            levels = contract_multilevel(e.u, e.v, e.n_vertices)
+            for a, b in zip(levels, levels[1:]):
+                assert b.n_edges <= (a.n_edges - 1) / 2 + 0.5
+                assert b.n_edges == a.n_alpha
+
+    def test_level_count_bound(self, rng):
+        for _ in range(15):
+            n = int(rng.integers(2, 200))
+            e = sorted_tree(rng, n)
+            levels = contract_multilevel(e.u, e.v, e.n_vertices)
+            assert len(levels) - 1 <= max_contraction_levels(e.n_edges)
+
+    def test_last_level_has_no_alpha(self, rng):
+        e = sorted_tree(rng, 50)
+        levels = contract_multilevel(e.u, e.v, e.n_vertices)
+        assert levels[-1].n_alpha == 0
+
+    def test_each_level_is_tree(self, rng):
+        """Contracted levels remain spanning trees of their supervertices."""
+        for _ in range(10):
+            e = sorted_tree(rng, int(rng.integers(3, 80)))
+            levels = contract_multilevel(e.u, e.v, e.n_vertices)
+            for lv in levels:
+                assert is_tree(lv.n_vertices, lv.u, lv.v)
+
+    def test_idx_strictly_ascending(self, rng):
+        e = sorted_tree(rng, 60)
+        levels = contract_multilevel(e.u, e.v, e.n_vertices)
+        for lv in levels:
+            if lv.n_edges > 1:
+                assert (np.diff(lv.idx) > 0).all()
+
+    def test_max_levels_cap(self, rng):
+        e = sorted_tree(rng, 100)
+        levels = contract_multilevel(e.u, e.v, e.n_vertices, max_levels=1)
+        assert len(levels) <= 2
+
+    def test_vmap_covers_all_vertices(self, rng):
+        e = sorted_tree(rng, 40)
+        levels = contract_multilevel(e.u, e.v, e.n_vertices)
+        for i, lv in enumerate(levels[:-1]):
+            assert lv.vmap is not None
+            assert lv.vmap.size == lv.n_vertices
+            next_nv = levels[i + 1].n_vertices
+            assert lv.vmap.max() == next_nv - 1
+            assert lv.vmap.min() == 0
+
+    def test_contracted_endpoints_same_supervertex(self, rng):
+        """Both endpoints of a contracted edge map to one supervertex."""
+        e = sorted_tree(rng, 70)
+        levels = contract_multilevel(e.u, e.v, e.n_vertices)
+        for lv in levels[:-1]:
+            non_alpha = ~lv.alpha
+            assert np.array_equal(
+                lv.vmap[lv.u[non_alpha]], lv.vmap[lv.v[non_alpha]]
+            )
+
+    def test_alpha_endpoints_differ(self, rng):
+        """Alpha edges must survive: endpoints in different supervertices."""
+        e = sorted_tree(rng, 70)
+        levels = contract_multilevel(e.u, e.v, e.n_vertices)
+        for lv in levels[:-1]:
+            a = lv.alpha
+            assert (lv.vmap[lv.u[a]] != lv.vmap[lv.v[a]]).all()
+
+    def test_row_of(self, rng):
+        e = sorted_tree(rng, 30)
+        levels = contract_multilevel(e.u, e.v, e.n_vertices)
+        lv = levels[0]
+        rows = lv.row_of(lv.idx)
+        assert np.array_equal(rows, np.arange(lv.n_edges))
+
+
+class TestMaxContractionLevels:
+    def test_values(self):
+        assert max_contraction_levels(0) == 0
+        assert max_contraction_levels(1) == 1
+        assert max_contraction_levels(3) == 2
+        assert max_contraction_levels(7) == 3
+        assert max_contraction_levels(1_000_000) == 20
+
+    def test_skewed_trees_contract_fast(self, rng):
+        """Highly skewed (path-like) trees have few alpha edges and terminate
+        in very few levels."""
+        e = sorted_tree(rng, 200, skew=0.95)
+        levels = contract_multilevel(e.u, e.v, e.n_vertices)
+        assert len(levels) <= max_contraction_levels(e.n_edges)

@@ -1,0 +1,152 @@
+"""Dataset generator tests: shapes, determinism, structural traits."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DATASETS,
+    blobs,
+    dataset_names,
+    farm_like,
+    hacc_like,
+    household_like,
+    load_dataset,
+    ngsim_like,
+    normal,
+    pamap_like,
+    road_network_like,
+    soneira_peebles,
+    uniform,
+    visual_sim,
+    visual_var,
+)
+
+
+class TestRegistry:
+    def test_all_names_load(self):
+        for name in dataset_names():
+            pts = load_dataset(name, n=500)
+            assert pts.shape == (500, DATASETS[name].dim)
+            assert np.isfinite(pts).all()
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            load_dataset("NoSuchData")
+
+    def test_deterministic_by_seed(self):
+        a = load_dataset("Hacc37M", n=300, seed=5)
+        b = load_dataset("Hacc37M", n=300, seed=5)
+        c = load_dataset("Hacc37M", n=300, seed=6)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_default_sizes(self):
+        for spec in DATASETS.values():
+            assert spec.default_n >= 10_000
+            assert spec.paper_npts > spec.default_n
+
+    def test_table2_metadata_complete(self):
+        assert len(DATASETS) == 15  # Table 2 has 15 rows
+        for spec in DATASETS.values():
+            assert spec.paper_imbalance > 0
+            assert spec.description
+
+
+class TestBasicGenerators:
+    def test_normal_shape_scale(self):
+        pts = normal(1000, 3, seed=1)
+        assert pts.shape == (1000, 3)
+        assert abs(pts.std() - 1.0) < 0.1
+
+    def test_uniform_bounds(self):
+        pts = uniform(1000, 2, seed=1, extent=5.0)
+        assert pts.min() >= 0 and pts.max() <= 5.0
+
+    def test_invalid_shapes(self):
+        with pytest.raises(ValueError):
+            normal(-1, 2)
+        with pytest.raises(ValueError):
+            uniform(10, 0)
+
+    def test_blobs_labels(self):
+        pts, labels = blobs(100, n_centers=4, noise_fraction=0.1, seed=2)
+        assert pts.shape[0] == 100
+        assert set(np.unique(labels)) <= {-1, 0, 1, 2, 3}
+        assert (labels == -1).sum() == 10
+
+
+class TestStructuralTraits:
+    def test_soneira_peebles_is_clustered(self):
+        """Hierarchical points have far smaller typical NN distance than
+        uniform at equal density."""
+        from repro.spatial.emst import core_distances
+
+        n = 2000
+        sp = soneira_peebles(n, dim=3, seed=3)
+        un = uniform(n, 3, seed=3, extent=1000.0)
+        c_sp, _, _ = core_distances(sp, 2)
+        c_un, _, _ = core_distances(un, 2)
+        assert np.median(c_sp) < 0.5 * np.median(c_un)
+
+    def test_hacc_like_mixture(self):
+        pts = hacc_like(1000, seed=4)
+        assert pts.shape == (1000, 3)
+
+    def test_visual_var_density_contrast(self):
+        """Var must have a much wider NN-distance spread than Sim."""
+        from repro.spatial.emst import core_distances
+
+        var = visual_var(3000, 2, seed=5)
+        sim = visual_sim(3000, 2, seed=5)
+        cv, _, _ = core_distances(var, 2)
+        cs, _, _ = core_distances(sim, 2)
+        spread_var = np.percentile(cv, 95) / max(np.percentile(cv, 5), 1e-12)
+        spread_sim = np.percentile(cs, 95) / max(np.percentile(cs, 5), 1e-12)
+        assert spread_var > 3 * spread_sim
+
+    def test_ngsim_filaments(self):
+        pts = ngsim_like(2000, seed=6)
+        assert pts.shape == (2000, 2)
+        assert np.isfinite(pts).all()
+        # filament property: nearest-neighbor spacing is far below the
+        # overall extent (points concentrate on 1-D curves)
+        from repro.spatial.emst import core_distances
+
+        c, _, _ = core_distances(pts, 2)
+        extent = np.linalg.norm(pts.max(axis=0) - pts.min(axis=0))
+        assert np.median(c) < extent / 100
+
+    def test_road_network_grid(self):
+        pts = road_network_like(2000, seed=7)
+        assert pts.shape == (2000, 2)
+
+    def test_sensor_dims(self):
+        assert pamap_like(500, seed=1).shape == (500, 4)
+        assert farm_like(500, seed=1).shape == (500, 5)
+        assert household_like(500, seed=1).shape == (500, 7)
+
+    def test_farm_power_law_populations(self):
+        """A few texture clusters dominate."""
+        pts = farm_like(4000, seed=8)
+        assert np.isfinite(pts).all()
+
+    def test_skew_ordering_var_vs_sim(self):
+        """Table-2 ordering: VisualVar dendrograms skew far beyond
+        VisualSim at equal n (paper: 3e3-1e4 vs 43)."""
+        from repro import pandora
+        from repro.spatial import emst
+
+        var = visual_var(4000, 2, seed=9)
+        sim = visual_sim(4000, 5, seed=9)
+        d_var, _ = pandora(*_mst3(var))
+        d_sim, _ = pandora(*_mst3(sim))
+        assert d_var.skewness > d_sim.skewness
+
+
+def _mst3(pts):
+    from repro.spatial import emst
+
+    r = emst(pts, mpts=2)
+    return r.u, r.v, r.w

@@ -1,0 +1,81 @@
+"""DBSCAN* extraction tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import pandora
+from repro.data import blobs
+from repro.hdbscan import dbscan_star_labels
+from repro.spatial import emst
+
+
+@pytest.fixture(scope="module")
+def blob_hierarchy():
+    pts, true = blobs(300, n_centers=3, separation=20.0, spread=0.5, seed=9)
+    mst = emst(pts, mpts=4)
+    dend, _ = pandora(mst.u, mst.v, mst.w, len(pts))
+    return pts, true, dend, mst.core
+
+
+class TestDBSCANStar:
+    def test_recovers_blobs_at_good_epsilon(self, blob_hierarchy):
+        pts, true, dend, core = blob_hierarchy
+        labels = dbscan_star_labels(dend, core, epsilon=1.5,
+                                    min_cluster_size=10)
+        found = len(np.unique(labels[labels >= 0]))
+        assert found == 3
+        # purity per blob
+        for b in range(3):
+            blob_labels = labels[true == b]
+            blob_labels = blob_labels[blob_labels >= 0]
+            vals, counts = np.unique(blob_labels, return_counts=True)
+            assert counts.max() > 0.9 * (true == b).sum()
+
+    def test_tiny_epsilon_all_noise(self, blob_hierarchy):
+        pts, true, dend, core = blob_hierarchy
+        labels = dbscan_star_labels(dend, core, epsilon=1e-9)
+        assert (labels == -1).all()
+
+    def test_huge_epsilon_single_cluster(self, blob_hierarchy):
+        pts, true, dend, core = blob_hierarchy
+        labels = dbscan_star_labels(dend, core, epsilon=1e9)
+        assert (labels == 0).all()
+
+    def test_high_core_points_are_noise(self, blob_hierarchy):
+        pts, true, dend, core = blob_hierarchy
+        eps = float(np.median(core))
+        labels = dbscan_star_labels(dend, core, epsilon=eps)
+        assert (labels[core > eps] == -1).all()
+
+    def test_min_cluster_size_filters(self, blob_hierarchy):
+        pts, true, dend, core = blob_hierarchy
+        loose = dbscan_star_labels(dend, core, epsilon=1.5, min_cluster_size=2)
+        strict = dbscan_star_labels(dend, core, epsilon=1.5,
+                                    min_cluster_size=50)
+        n_loose = len(np.unique(loose[loose >= 0]))
+        n_strict = len(np.unique(strict[strict >= 0]))
+        assert n_strict <= n_loose
+
+    def test_epsilon_monotonicity(self, blob_hierarchy):
+        """Clusters only merge as epsilon grows: partitions are nested over
+        the points that are clustered at both radii."""
+        pts, true, dend, core = blob_hierarchy
+        small = dbscan_star_labels(dend, core, epsilon=0.8)
+        large = dbscan_star_labels(dend, core, epsilon=3.0)
+        both = (small >= 0) & (large >= 0)
+        idx = np.nonzero(both)[0][:80]
+        for i in idx:
+            for j in idx:
+                if small[i] == small[j]:
+                    assert large[i] == large[j]
+
+    def test_validation_errors(self, blob_hierarchy):
+        pts, true, dend, core = blob_hierarchy
+        with pytest.raises(ValueError):
+            dbscan_star_labels(dend, core, epsilon=-1.0)
+        with pytest.raises(ValueError):
+            dbscan_star_labels(dend, core, epsilon=1.0, min_cluster_size=0)
+        with pytest.raises(ValueError):
+            dbscan_star_labels(dend, core[:-1], epsilon=1.0)

@@ -1,0 +1,234 @@
+"""Dendrogram structure tests: invariants, conversions, queries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.cluster.hierarchy as sch
+from scipy.spatial.distance import pdist, squareform
+
+from repro import dendrogram_bottomup
+from repro.structures import EDGE_ALPHA, EDGE_CHAIN, EDGE_LEAF
+from repro.structures.tree import random_spanning_tree
+
+
+def star_dendrogram(n_leaves: int, rng):
+    """Star MST: dendrogram is a single sorted chain (Theorem 4 input)."""
+    u = np.zeros(n_leaves, dtype=np.int64)
+    v = np.arange(1, n_leaves + 1, dtype=np.int64)
+    w = rng.permutation(n_leaves).astype(float) + 1.0
+    return dendrogram_bottomup(u, v, w)
+
+
+class TestBasicShape:
+    def test_counts(self, rng):
+        u, v, w = random_spanning_tree(10, rng)
+        d = dendrogram_bottomup(u, v, w)
+        assert d.n_edges == 9
+        assert d.n_vertices == 10
+        assert d.n_nodes == 19
+
+    def test_root_is_heaviest(self, rng):
+        u, v, w = random_spanning_tree(20, rng)
+        d = dendrogram_bottomup(u, v, w)
+        assert d.root == 0
+        assert d.parent[0] == -1
+        assert d.edges.w[0] == w.max()
+
+    def test_validate_passes(self, rng):
+        for _ in range(10):
+            u, v, w = random_spanning_tree(int(rng.integers(2, 50)), rng)
+            dendrogram_bottomup(u, v, w).validate()
+
+    def test_validate_rejects_two_roots(self, rng):
+        u, v, w = random_spanning_tree(5, rng)
+        d = dendrogram_bottomup(u, v, w)
+        d.parent[1] = -1
+        with pytest.raises(ValueError):
+            d.validate()
+
+    def test_validate_rejects_heavier_child(self, rng):
+        u, v, w = random_spanning_tree(6, rng)
+        d = dendrogram_bottomup(u, v, w)
+        d.parent[1] = 3  # parent index above own: invalid
+        with pytest.raises(ValueError):
+            d.validate()
+
+    def test_edge_children_exactly_two(self, rng):
+        u, v, w = random_spanning_tree(30, rng)
+        d = dendrogram_bottomup(u, v, w)
+        assert (d.children_counts() == 2).all()
+
+    def test_single_vertex(self):
+        d = dendrogram_bottomup([], [], [], n_vertices=1)
+        assert d.n_edges == 0
+        d.validate()
+
+
+class TestDepthsAndSkew:
+    def test_star_height(self, rng):
+        """A star's dendrogram is a chain of n edges: height == n (the
+        deepest vertex hangs under the last chain edge at depth n)."""
+        d = star_dendrogram(8, rng)
+        assert d.height == 8
+
+    def test_depths_root_zero(self, rng):
+        u, v, w = random_spanning_tree(12, rng)
+        d = dendrogram_bottomup(u, v, w)
+        assert d.depths()[0] == 0
+
+    def test_depths_parent_child_off_by_one(self, rng):
+        u, v, w = random_spanning_tree(25, rng)
+        d = dendrogram_bottomup(u, v, w)
+        depths = d.depths()
+        for x in range(1, d.n_nodes):
+            p = d.parent[x]
+            if p >= 0:
+                assert depths[x] == depths[p] + 1
+
+    def test_star_skewness_is_maximal(self, rng):
+        d = star_dendrogram(64, rng)
+        assert d.skewness == pytest.approx(64 / 6.0)
+
+    def test_skewness_tiny_trees(self, rng):
+        u, v, w = random_spanning_tree(2, rng)
+        d = dendrogram_bottomup(u, v, w)
+        assert d.skewness == 1.0
+
+
+class TestEdgeKinds:
+    def test_star_has_no_alpha(self, rng):
+        d = star_dendrogram(10, rng)
+        kinds = d.edge_kinds()
+        assert (kinds != EDGE_ALPHA).all()
+        counts = d.kind_counts()
+        assert counts["leaf"] == 1
+        assert counts["chain"] == 9
+
+    def test_kind_counts_sum(self, rng):
+        u, v, w = random_spanning_tree(40, rng)
+        d = dendrogram_bottomup(u, v, w)
+        counts = d.kind_counts()
+        assert sum(counts.values()) == d.n_edges
+
+    def test_alpha_leaf_relation(self, rng):
+        """n_leaf == n_alpha + 1 in every dendrogram (Section 4.2)."""
+        for _ in range(15):
+            u, v, w = random_spanning_tree(int(rng.integers(2, 80)), rng)
+            d = dendrogram_bottomup(u, v, w)
+            c = d.kind_counts()
+            assert c["leaf"] == c["alpha"] + 1
+
+    def test_chain_lengths_cover_edges(self, rng):
+        u, v, w = random_spanning_tree(30, rng)
+        d = dendrogram_bottomup(u, v, w)
+        assert d.chain_lengths().sum() == d.n_edges
+
+
+class TestAncestry:
+    def test_root_ancestor_of_all(self, rng):
+        u, v, w = random_spanning_tree(15, rng)
+        d = dendrogram_bottomup(u, v, w)
+        for k in range(d.n_edges):
+            assert d.is_ancestor(0, k)
+
+    def test_ancestors_start_with_self(self, rng):
+        u, v, w = random_spanning_tree(10, rng)
+        d = dendrogram_bottomup(u, v, w)
+        assert d.ancestors(3)[0] == 3
+        assert d.ancestors(3)[-1] == 0
+
+    def test_lcda_symmetric(self, rng):
+        u, v, w = random_spanning_tree(20, rng)
+        d = dendrogram_bottomup(u, v, w)
+        for _ in range(20):
+            i, j = rng.integers(0, d.n_edges, size=2)
+            assert d.lcda(int(i), int(j)) == d.lcda(int(j), int(i))
+
+    def test_lcda_self(self, rng):
+        u, v, w = random_spanning_tree(10, rng)
+        d = dendrogram_bottomup(u, v, w)
+        assert d.lcda(4, 4) == 4
+
+
+class TestLinkageConversion:
+    def test_matches_scipy_single_linkage(self, rng):
+        """Cophenetic distances of our dendrogram == scipy 'single' linkage."""
+        for _ in range(8):
+            n = int(rng.integers(3, 40))
+            pts = rng.normal(size=(n, 2))
+            # our MST path
+            from repro.spatial.emst import emst
+
+            mst = emst(pts, mpts=1, leaf_size=8)
+            d = dendrogram_bottomup(mst.u, mst.v, mst.w)
+            Z = d.to_linkage()
+            ref = sch.linkage(pdist(pts), method="single")
+            ours_coph = squareform(sch.cophenet(Z))
+            ref_coph = squareform(sch.cophenet(ref))
+            assert np.allclose(ours_coph, ref_coph, atol=1e-10)
+
+    def test_linkage_shape_and_sizes(self, rng):
+        u, v, w = random_spanning_tree(10, rng)
+        d = dendrogram_bottomup(u, v, w)
+        Z = d.to_linkage()
+        assert Z.shape == (9, 4)
+        assert Z[-1, 3] == 10  # final merge contains all points
+        assert (np.diff(Z[:, 2]) >= 0).all()  # non-decreasing heights
+
+    def test_linkage_is_valid_for_scipy(self, rng):
+        u, v, w = random_spanning_tree(12, rng)
+        d = dendrogram_bottomup(u, v, w)
+        assert sch.is_valid_linkage(d.to_linkage())
+
+
+class TestCut:
+    def test_cut_matches_fcluster(self, rng):
+        for _ in range(8):
+            n = int(rng.integers(3, 40))
+            pts = rng.normal(size=(n, 2))
+            from repro.spatial.emst import emst
+
+            mst = emst(pts, mpts=1, leaf_size=8)
+            d = dendrogram_bottomup(mst.u, mst.v, mst.w)
+            t = float(rng.random() * 2)
+            ours = d.cut(t)
+            ref = sch.fcluster(
+                sch.linkage(pdist(pts), method="single"), t, criterion="distance"
+            )
+            # same partition up to relabeling
+            for i in range(n):
+                for j in range(i + 1, n):
+                    assert (ours[i] == ours[j]) == (ref[i] == ref[j])
+
+    def test_cut_zero_all_singletons(self, rng):
+        u, v, w = random_spanning_tree(10, rng)
+        w = w + 1.0  # all weights > 0
+        d = dendrogram_bottomup(u, v, w)
+        assert len(np.unique(d.cut(0.0))) == 10
+
+    def test_cut_above_max_single_cluster(self, rng):
+        u, v, w = random_spanning_tree(10, rng)
+        d = dendrogram_bottomup(u, v, w)
+        assert len(np.unique(d.cut(w.max() + 1))) == 1
+
+
+class TestSubtreeSizes:
+    def test_root_contains_all(self, rng):
+        u, v, w = random_spanning_tree(20, rng)
+        d = dendrogram_bottomup(u, v, w)
+        assert d.subtree_sizes()[0] == 20
+
+    def test_leaf_edges_have_two(self, rng):
+        u, v, w = random_spanning_tree(25, rng)
+        d = dendrogram_bottomup(u, v, w)
+        sizes = d.subtree_sizes()
+        kinds = d.edge_kinds()
+        assert (sizes[kinds == EDGE_LEAF] == 2).all()
+
+    def test_cophenetic_distance(self, rng):
+        u, v, w = random_spanning_tree(12, rng)
+        d = dendrogram_bottomup(u, v, w)
+        # distance to self is 0; symmetric otherwise
+        assert d.cophenetic_distance(3, 3) == 0.0
+        assert d.cophenetic_distance(1, 5) == d.cophenetic_distance(5, 1)

@@ -1,0 +1,91 @@
+"""Distance kernel tests."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial.distance import cdist
+
+from repro.spatial import (
+    dist_block,
+    mutual_reachability_block,
+    pairwise_mutual_reachability,
+    sq_dist_block,
+)
+from repro.spatial.emst import core_distances
+
+
+class TestSqDistBlock:
+    def test_matches_cdist(self, rng):
+        a = rng.normal(size=(13, 4))
+        b = rng.normal(size=(7, 4))
+        assert np.allclose(sq_dist_block(a, b), cdist(a, b) ** 2, atol=1e-12)
+
+    def test_identical_points_exactly_zero(self, rng):
+        a = rng.normal(size=(5, 3)) * 1e6  # large coordinates
+        d2 = sq_dist_block(a, a)
+        assert (np.diag(d2) == 0.0).all()
+
+    def test_symmetry(self, rng):
+        a = rng.normal(size=(6, 2))
+        b = rng.normal(size=(9, 2))
+        assert np.allclose(sq_dist_block(a, b), sq_dist_block(b, a).T)
+
+    def test_single_dimension(self, rng):
+        a = rng.normal(size=(4, 1))
+        d = dist_block(a, a)
+        ref = np.abs(a - a.T)
+        assert np.allclose(d, ref)
+
+
+class TestMutualReachability:
+    def test_block_takes_max(self):
+        d = np.array([[1.0, 5.0]])
+        core_a = np.array([3.0])
+        core_b = np.array([2.0, 4.0])
+        out = mutual_reachability_block(d, core_a, core_b)
+        assert np.allclose(out, [[3.0, 5.0]])
+
+    def test_mreach_at_least_euclidean(self, rng):
+        pts = rng.normal(size=(30, 3))
+        core, _, _ = core_distances(pts, 4)
+        m = pairwise_mutual_reachability(pts, core)
+        d = dist_block(pts, pts)
+        np.fill_diagonal(d, 0)
+        assert (m + 1e-12 >= d).all()
+
+    def test_mreach_diagonal_zero(self, rng):
+        pts = rng.normal(size=(10, 2))
+        core, _, _ = core_distances(pts, 3)
+        m = pairwise_mutual_reachability(pts, core)
+        assert (np.diag(m) == 0).all()
+
+    def test_mpts1_equals_euclidean(self, rng):
+        pts = rng.normal(size=(12, 2))
+        core, _, _ = core_distances(pts, 1)
+        assert (core == 0).all()
+        m = pairwise_mutual_reachability(pts, core)
+        d = dist_block(pts, pts)
+        np.fill_diagonal(d, 0)
+        assert np.allclose(m, d)
+
+
+class TestCoreDistances:
+    def test_core_is_kth_neighbor(self, rng):
+        pts = rng.normal(size=(50, 2))
+        for mpts in (2, 4, 8):
+            core, dists, ids = core_distances(pts, mpts)
+            d = cdist(pts, pts)
+            expected = np.sort(d, axis=1)[:, mpts - 1]
+            assert np.allclose(core, expected, atol=1e-10)
+
+    def test_core_monotone_in_mpts(self, rng):
+        pts = rng.normal(size=(40, 3))
+        c2, _, _ = core_distances(pts, 2)
+        c8, _, _ = core_distances(pts, 8)
+        assert (c8 >= c2 - 1e-12).all()
+
+    def test_invalid_mpts(self, rng):
+        import pytest
+
+        with pytest.raises(ValueError):
+            core_distances(rng.normal(size=(5, 2)), 0)

@@ -1,0 +1,91 @@
+"""Canonical edge ordering tests (Section 3.1.1 requirements)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.structures import SortedEdgeList, as_edge_arrays, sort_edges_descending
+
+
+class TestAsEdgeArrays:
+    def test_normalizes_dtypes(self):
+        u, v, w = as_edge_arrays([0, 1], [1, 2], [1.5, 0.5])
+        assert u.dtype == np.int64
+        assert w.dtype == np.float64
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            as_edge_arrays([0], [1, 2], [1.0, 2.0])
+
+    def test_rejects_nan_weights(self):
+        with pytest.raises(ValueError):
+            as_edge_arrays([0], [1], [np.nan])
+
+    def test_rejects_self_loops(self):
+        with pytest.raises(ValueError):
+            as_edge_arrays([1], [1], [1.0])
+
+    def test_rejects_negative_vertices(self):
+        with pytest.raises(ValueError):
+            as_edge_arrays([-1], [1], [1.0])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            as_edge_arrays(np.zeros((2, 2)), np.zeros((2, 2)), np.zeros((2, 2)))
+
+
+class TestSortEdgesDescending:
+    def test_sorts_descending(self):
+        e = sort_edges_descending([0, 1, 2], [1, 2, 3], [1.0, 3.0, 2.0])
+        assert np.array_equal(e.w, [3.0, 2.0, 1.0])
+        assert np.array_equal(e.order, [1, 2, 0])
+
+    def test_ties_broken_by_input_id(self):
+        e = sort_edges_descending([0, 1, 2], [1, 2, 3], [2.0, 2.0, 2.0])
+        assert np.array_equal(e.order, [0, 1, 2])
+
+    def test_infers_vertex_count(self):
+        e = sort_edges_descending([0, 5], [1, 3], [1.0, 2.0])
+        assert e.n_vertices == 6
+
+    def test_explicit_vertex_count(self):
+        e = sort_edges_descending([0], [1], [1.0], n_vertices=10)
+        assert e.n_vertices == 10
+
+    def test_empty(self):
+        e = sort_edges_descending([], [], [], n_vertices=1)
+        assert e.n_edges == 0
+
+    def test_rank_of_input_edge_roundtrip(self, rng):
+        n = 50
+        w = rng.random(n)
+        e = sort_edges_descending(np.zeros(n, dtype=int), np.arange(1, n + 1), w)
+        rank = e.rank_of_input_edge()
+        for input_id in range(n):
+            assert e.order[rank[input_id]] == input_id
+
+    def test_endpoints_shape(self):
+        e = sort_edges_descending([0, 1], [1, 2], [5.0, 1.0])
+        pts = e.endpoints()
+        assert pts.shape == (2, 2)
+        assert np.array_equal(pts[0], [0, 1])
+
+    def test_nonincreasing_invariant_enforced(self):
+        with pytest.raises(ValueError):
+            SortedEdgeList(
+                u=np.array([0, 1]),
+                v=np.array([1, 2]),
+                w=np.array([1.0, 2.0]),  # increasing: invalid
+                order=np.array([0, 1]),
+                n_vertices=3,
+            )
+
+    def test_heaviest_edge_is_index_zero(self, rng):
+        for _ in range(10):
+            n = int(rng.integers(1, 40))
+            w = rng.random(n) * 100
+            e = sort_edges_descending(
+                np.zeros(n, dtype=int), np.arange(1, n + 1), w
+            )
+            assert e.w[0] == w.max()

@@ -1,0 +1,104 @@
+"""Unit tests for the chain-assignment and stitching internals."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.contraction import contract_multilevel
+from repro.core.expansion import ChainAssignment, assign_chains, stitch_chains
+from repro.structures.edgelist import sort_edges_descending
+from repro.structures.tree import random_spanning_tree
+
+
+def build_levels(rng, n, skew=0.0):
+    u, v, w = random_spanning_tree(n, rng, skew=skew)
+    e = sort_edges_descending(u, v, w)
+    return e, contract_multilevel(e.u, e.v, e.n_vertices)
+
+
+class TestAssignChains:
+    def test_every_edge_assigned_or_root(self, rng):
+        e, levels = build_levels(rng, 60)
+        a = assign_chains(levels)
+        assert a.anchor.size == e.n_edges
+        # root chain edges have level -1; others have a valid level >= 1
+        assigned = a.anchor >= 0
+        assert (a.level[assigned] >= 1).all()
+        assert (a.level[~assigned] == -1).all()
+
+    def test_anchor_is_heavier(self, rng):
+        """Chain anchors always have a smaller index than their members."""
+        for _ in range(10):
+            e, levels = build_levels(rng, int(rng.integers(3, 80)))
+            a = assign_chains(levels)
+            members = np.nonzero(a.anchor >= 0)[0]
+            assert (a.anchor[members] < members).all()
+
+    def test_root_chain_contains_edge_zero(self, rng):
+        e, levels = build_levels(rng, 50)
+        a = assign_chains(levels)
+        assert a.anchor[0] == -1  # the heaviest edge anchors nothing above it
+
+    def test_star_all_root_chain(self, rng):
+        n = 12
+        u = np.zeros(n, dtype=np.int64)
+        v = np.arange(1, n + 1)
+        w = rng.permutation(n).astype(float)
+        e = sort_edges_descending(u, v, w)
+        levels = contract_multilevel(e.u, e.v, e.n_vertices)
+        a = assign_chains(levels)
+        assert a.n_root_chain == n
+
+    def test_assignment_levels_bounded(self, rng):
+        e, levels = build_levels(rng, 100)
+        a = assign_chains(levels)
+        assert a.level.max() <= len(levels) - 1
+
+
+class TestStitchChains:
+    def test_single_edge(self):
+        a = ChainAssignment(
+            anchor=np.array([-1], dtype=np.int64),
+            side=np.zeros(1, dtype=np.int8),
+            level=np.full(1, -1, dtype=np.int16),
+        )
+        max_inc0 = np.array([0, 0], dtype=np.int64)
+        parent = stitch_chains(a, 1, 2, max_inc0)
+        assert parent[0] == -1
+        assert parent[1] == 0 and parent[2] == 0
+
+    def test_no_edges(self):
+        a = ChainAssignment(
+            anchor=np.zeros(0, dtype=np.int64),
+            side=np.zeros(0, dtype=np.int8),
+            level=np.zeros(0, dtype=np.int16),
+        )
+        parent = stitch_chains(a, 0, 1, np.array([-1], dtype=np.int64))
+        assert parent.tolist() == [-1]
+
+    def test_two_chains_same_anchor_different_sides(self):
+        """Sides must not merge: edges 1 and 2 both anchored at 0 but on
+        different sides become siblings, not a chain."""
+        a = ChainAssignment(
+            anchor=np.array([-1, 0, 0], dtype=np.int64),
+            side=np.array([0, 0, 1], dtype=np.int8),
+            level=np.array([-1, 1, 1], dtype=np.int16),
+        )
+        # star-ish vertex parents, 4 vertices
+        max_inc0 = np.array([1, 2, 1, 2], dtype=np.int64)
+        parent = stitch_chains(a, 3, 4, max_inc0)
+        assert parent[1] == 0 and parent[2] == 0
+
+    def test_chain_sorted_by_index(self):
+        """Members of one chain link ascending regardless of input order."""
+        a = ChainAssignment(
+            anchor=np.array([-1, 0, 0, 0], dtype=np.int64),
+            side=np.array([0, 1, 1, 1], dtype=np.int8),
+            level=np.array([-1, 1, 1, 1], dtype=np.int16),
+        )
+        max_inc0 = np.array([3, 3, 3, 3, 3], dtype=np.int64)
+        parent = stitch_chains(a, 4, 5, max_inc0)
+        assert parent[1] == 0
+        assert parent[2] == 1
+        assert parent[3] == 2

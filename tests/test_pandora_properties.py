@@ -1,0 +1,115 @@
+"""Property-based tests (hypothesis) for PANDORA and its invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    dendrogram_bottomup,
+    dendrogram_mixed,
+    dendrogram_single_level,
+    dendrogram_topdown,
+    pandora,
+)
+from repro.core.contraction import max_contraction_levels
+
+
+@st.composite
+def weighted_trees(draw, max_vertices: int = 64):
+    """Random weighted spanning trees with possibly-tied integer weights."""
+    n = draw(st.integers(2, max_vertices))
+    parents = [draw(st.integers(0, i - 1)) for i in range(1, n)]
+    u = np.array(parents, dtype=np.int64)
+    v = np.arange(1, n, dtype=np.int64)
+    w = np.array(
+        draw(
+            st.lists(
+                st.integers(0, 12), min_size=n - 1, max_size=n - 1
+            )
+        ),
+        dtype=np.float64,
+    )
+    return u, v, w
+
+
+@given(weighted_trees())
+@settings(max_examples=120, deadline=None)
+def test_pandora_equals_oracle(tree):
+    u, v, w = tree
+    ref = dendrogram_bottomup(u, v, w)
+    got, _ = pandora(u, v, w)
+    assert np.array_equal(got.parent, ref.parent)
+
+
+@given(weighted_trees(max_vertices=40))
+@settings(max_examples=60, deadline=None)
+def test_all_algorithms_agree(tree):
+    """Four independent constructions, one unique dendrogram."""
+    u, v, w = tree
+    ref = dendrogram_bottomup(u, v, w).parent
+    assert np.array_equal(pandora(u, v, w)[0].parent, ref)
+    assert np.array_equal(dendrogram_topdown(u, v, w).parent, ref)
+    assert np.array_equal(dendrogram_mixed(u, v, w).parent, ref)
+    assert np.array_equal(dendrogram_single_level(u, v, w)[0].parent, ref)
+
+
+@given(weighted_trees())
+@settings(max_examples=80, deadline=None)
+def test_structural_invariants(tree):
+    u, v, w = tree
+    d, stats = pandora(u, v, w)
+    d.validate()
+    stats.check_bounds()
+    # alpha/leaf relation and edge accounting
+    counts = d.kind_counts()
+    assert counts["leaf"] == counts["alpha"] + 1
+    assert sum(counts.values()) == d.n_edges
+    # contraction levels bound
+    assert stats.n_levels - 1 <= max_contraction_levels(d.n_edges)
+
+
+@given(weighted_trees())
+@settings(max_examples=60, deadline=None)
+def test_parent_is_heavier(tree):
+    """Every edge's dendrogram parent is heavier (smaller index)."""
+    u, v, w = tree
+    d, _ = pandora(u, v, w)
+    ep = d.edge_parents()
+    for k in range(1, d.n_edges):
+        assert ep[k] < k
+    assert ep[0] == -1
+
+
+@given(weighted_trees(max_vertices=32))
+@settings(max_examples=40, deadline=None)
+def test_cut_partitions_consistent(tree):
+    """Cutting at any threshold groups exactly the pairs whose cophenetic
+    distance is below it."""
+    u, v, w = tree
+    d, _ = pandora(u, v, w)
+    thresholds = np.unique(w)[:3]
+    for t in thresholds:
+        labels = d.cut(float(t))
+        for i in range(min(d.n_vertices, 12)):
+            for j in range(i + 1, min(d.n_vertices, 12)):
+                same = labels[i] == labels[j]
+                assert same == (d.cophenetic_distance(i, j) <= t)
+
+
+@given(weighted_trees(max_vertices=48), st.integers(0, 2 ** 31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_weight_permutation_invariance(tree, seed):
+    """Shuffling edge input order must not change the dendrogram structure
+    when weights are distinct."""
+    u, v, w = tree
+    w = w + np.linspace(0, 0.5, len(w))  # force distinct weights
+    ref = pandora(u, v, w)[0]
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(len(w))
+    got = pandora(u[perm], v[perm], w[perm])[0]
+    # same merge structure: compare cophenetic distances on a sample
+    for i in range(0, min(ref.n_vertices, 10)):
+        for j in range(i + 1, min(ref.n_vertices, 10)):
+            assert ref.cophenetic_distance(i, j) == got.cophenetic_distance(i, j)

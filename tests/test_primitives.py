@@ -1,0 +1,163 @@
+"""Unit tests for the data-parallel primitive layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    CostModel,
+    compact,
+    exclusive_scan,
+    gather,
+    inclusive_scan,
+    lexsort,
+    parallel_map,
+    reduce_max,
+    reduce_min,
+    reduce_sum,
+    scatter,
+    scatter_max_ordered,
+    scatter_min_at,
+    segmented_first,
+    sort,
+    sort_by_key,
+    tracking,
+    unique_labels,
+)
+
+
+class TestScans:
+    def test_inclusive_scan_matches_cumsum(self):
+        a = np.array([3, 1, 4, 1, 5, 9, 2, 6])
+        assert np.array_equal(inclusive_scan(a), np.cumsum(a))
+
+    def test_exclusive_scan_shifts(self):
+        a = np.array([3, 1, 4, 1, 5])
+        out = exclusive_scan(a)
+        assert np.array_equal(out, np.array([0, 3, 4, 8, 9]))
+
+    def test_exclusive_scan_empty(self):
+        assert exclusive_scan(np.zeros(0, dtype=np.int64)).size == 0
+
+    def test_exclusive_scan_single(self):
+        out = exclusive_scan(np.array([7]))
+        assert np.array_equal(out, np.array([0]))
+
+    def test_exclusive_scan_floats(self):
+        a = np.array([0.5, 1.5, 2.0])
+        assert np.allclose(exclusive_scan(a), [0.0, 0.5, 2.0])
+
+
+class TestReductions:
+    def test_reduce_sum(self):
+        assert reduce_sum(np.arange(10)) == 45
+
+    def test_reduce_max_min(self):
+        a = np.array([3, -1, 7, 2])
+        assert reduce_max(a) == 7
+        assert reduce_min(a) == -1
+
+
+class TestSorts:
+    def test_sort_is_stable_and_sorted(self):
+        a = np.array([3, 1, 2, 1])
+        assert np.array_equal(sort(a), np.array([1, 1, 2, 3]))
+
+    def test_argsort_stable_for_ties(self):
+        from repro.parallel import argsort
+
+        a = np.array([2, 1, 2, 1])
+        assert np.array_equal(argsort(a), np.argsort(a, kind="stable"))
+
+    def test_lexsort_primary_is_last_key(self):
+        primary = np.array([1, 0, 1, 0])
+        secondary = np.array([9, 8, 7, 6])
+        order = lexsort((secondary, primary))
+        assert np.array_equal(primary[order], np.array([0, 0, 1, 1]))
+        # ties in primary resolved by secondary ascending
+        assert np.array_equal(secondary[order], np.array([6, 8, 7, 9]))
+
+    def test_lexsort_requires_keys(self):
+        with pytest.raises(ValueError):
+            lexsort(())
+
+    def test_sort_by_key(self):
+        k = np.array([3, 1, 2])
+        v = np.array([30, 10, 20])
+        ks, vs = sort_by_key(k, v)
+        assert np.array_equal(ks, [1, 2, 3])
+        assert np.array_equal(vs, [10, 20, 30])
+
+
+class TestGatherScatter:
+    def test_gather(self):
+        a = np.array([10, 20, 30])
+        assert np.array_equal(gather(a, np.array([2, 0])), [30, 10])
+
+    def test_scatter(self):
+        a = np.zeros(4, dtype=np.int64)
+        scatter(a, np.array([1, 3]), np.array([5, 7]))
+        assert np.array_equal(a, [0, 5, 0, 7])
+
+    def test_scatter_max_ordered_last_write_wins(self):
+        """The maxIncident trick: ascending values + duplicate indices."""
+        target = np.full(3, -1, dtype=np.int64)
+        idx = np.array([0, 1, 0, 2, 0])
+        vals = np.array([1, 2, 3, 4, 5])  # ascending => last write is max
+        scatter_max_ordered(target, idx, vals)
+        assert np.array_equal(target, [5, 2, 4])
+
+    def test_scatter_max_matches_maximum_at(self, rng):
+        """Property: ordered fancy assignment == explicit atomic max."""
+        for _ in range(20):
+            n = int(rng.integers(1, 50))
+            m = int(rng.integers(1, 200))
+            idx = rng.integers(0, n, size=m)
+            vals = np.sort(rng.integers(0, 1000, size=m))
+            a = np.full(n, -1, dtype=np.int64)
+            scatter_max_ordered(a, idx, vals)
+            b = np.full(n, -1, dtype=np.int64)
+            np.maximum.at(b, idx, vals)
+            assert np.array_equal(a, b)
+
+    def test_scatter_min_at(self):
+        a = np.full(3, 100, dtype=np.int64)
+        scatter_min_at(a, np.array([0, 0, 2]), np.array([5, 3, 7]))
+        assert np.array_equal(a, [3, 100, 7])
+
+
+class TestCompactAndSegments:
+    def test_compact(self):
+        a = np.arange(6)
+        out = compact(a, a % 2 == 0)
+        assert np.array_equal(out, [0, 2, 4])
+
+    def test_segmented_first(self):
+        keys = np.array([1, 1, 2, 2, 2, 5])
+        assert np.array_equal(
+            segmented_first(keys), [True, False, True, False, False, True]
+        )
+
+    def test_segmented_first_empty(self):
+        assert segmented_first(np.zeros(0)).size == 0
+
+    def test_unique_labels_compacts_and_preserves_order(self):
+        labels = np.array([10, 3, 10, 7, 3])
+        new, k = unique_labels(labels)
+        assert k == 3
+        # smallest representative gets id 0
+        assert np.array_equal(new, [2, 0, 2, 1, 0])
+
+
+class TestParallelMap:
+    def test_map_applies_function(self):
+        out = parallel_map(lambda a, b: a + b, np.arange(3), np.ones(3, dtype=int))
+        assert np.array_equal(out, [1, 2, 3])
+
+    def test_map_records_kernel(self):
+        model = CostModel()
+        with tracking(model):
+            parallel_map(lambda a: a * 2, np.arange(10))
+        assert model.kernel_count() == 1
+        assert model.total_work() == 10

@@ -1,0 +1,69 @@
+"""SLINK baseline tests: Sibson's algorithm vs the MST-based stack."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.cluster.hierarchy as sch
+from scipy.spatial.distance import pdist
+
+from repro import pandora
+from repro.core.baselines import slink, slink_linkage
+from repro.spatial import emst
+
+
+class TestSlink:
+    def test_pointer_representation_shape(self, rng):
+        pts = rng.normal(size=(20, 2))
+        pi, lam = slink(pts)
+        assert pi.shape == (20,)
+        assert np.isinf(lam[-1])  # last point never merges upward
+
+    def test_pointer_validity(self, rng):
+        """pi[i] > i for all but the last point (pointers go to later ids)."""
+        pts = rng.normal(size=(40, 3))
+        pi, lam = slink(pts)
+        for i in range(39):
+            assert pi[i] > i
+
+    def test_empty_and_single(self):
+        pi, lam = slink(np.zeros((0, 2)))
+        assert pi.size == 0
+        Z = slink_linkage(np.zeros((1, 2)))
+        assert Z.shape == (0, 4)
+
+    def test_matches_scipy_single_linkage(self, rng):
+        for _ in range(10):
+            n = int(rng.integers(3, 60))
+            pts = rng.normal(size=(n, int(rng.integers(1, 4))))
+            Z = slink_linkage(pts)
+            ref = sch.linkage(pdist(pts), method="single")
+            ours = sch.cophenet(Z)
+            theirs = sch.cophenet(ref)
+            assert np.allclose(ours, theirs, atol=1e-10)
+
+    def test_matches_pandora_via_emst(self, rng):
+        """Three completely different routes to the same hierarchy:
+        SLINK (points, O(n^2)) == EMST + PANDORA (tree contraction)."""
+        for _ in range(6):
+            n = int(rng.integers(5, 50))
+            pts = rng.normal(size=(n, 2))
+            Z_slink = slink_linkage(pts)
+            mst = emst(pts, mpts=1, leaf_size=8)
+            dend, _ = pandora(mst.u, mst.v, mst.w, n)
+            Z_pandora = dend.to_linkage()
+            assert np.allclose(
+                sch.cophenet(Z_slink), sch.cophenet(Z_pandora), atol=1e-10
+            )
+
+    def test_merge_heights_sorted(self, rng):
+        pts = rng.normal(size=(30, 2))
+        Z = slink_linkage(pts)
+        assert (np.diff(Z[:, 2]) >= -1e-12).all()
+
+    def test_duplicate_points(self, rng):
+        base = rng.normal(size=(8, 2))
+        pts = np.concatenate([base, base[:4]])
+        Z = slink_linkage(pts)
+        assert sch.is_valid_linkage(Z)
+        assert (Z[:4, 2] == 0).all()  # four zero-height merges

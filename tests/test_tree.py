@@ -1,0 +1,109 @@
+"""Tree helper tests: validation, paths, random generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.structures import (
+    adjacency_lists,
+    edge_path,
+    incident_edges,
+    is_tree,
+    random_spanning_tree,
+    validate_tree,
+    vertex_path,
+)
+
+
+class TestIsTree:
+    def test_valid_tree(self):
+        assert is_tree(3, np.array([0, 1]), np.array([1, 2]))
+
+    def test_wrong_edge_count(self):
+        assert not is_tree(3, np.array([0]), np.array([1]))
+
+    def test_cycle_not_tree(self):
+        # 3 edges on 3 vertices: cycle
+        assert not is_tree(3, np.array([0, 1, 2]), np.array([1, 2, 0]))
+
+    def test_disconnected_right_count(self):
+        # 4 vertices, 3 edges but with a cycle + isolated vertex
+        assert not is_tree(4, np.array([0, 1, 2]), np.array([1, 2, 0]))
+
+    def test_single_vertex(self):
+        assert is_tree(1, np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64))
+
+
+class TestValidateTree:
+    def test_passes_on_tree(self):
+        validate_tree(3, np.array([0, 1]), np.array([1, 2]))
+
+    def test_raises_on_bad_count(self):
+        with pytest.raises(ValueError, match="edges"):
+            validate_tree(3, np.array([0]), np.array([1]))
+
+    def test_raises_on_disconnection(self):
+        with pytest.raises(ValueError, match="components"):
+            validate_tree(4, np.array([0, 1, 2]), np.array([1, 2, 0]))
+
+
+class TestAdjacency:
+    def test_adjacency_lists(self):
+        adj = adjacency_lists(3, np.array([0, 1]), np.array([1, 2]))
+        assert adj[1] == [(0, 0), (2, 1)]
+
+    def test_incident_edges_match_paper_notation(self):
+        """Incident(v) from Section 3.1.1."""
+        # star with center 0
+        inc = incident_edges(4, np.array([0, 0, 0]), np.array([1, 2, 3]))
+        assert inc[0] == [0, 1, 2]
+        assert inc[2] == [1]
+
+
+class TestPaths:
+    def test_vertex_path_direct(self):
+        u, v = np.array([0, 1, 2]), np.array([1, 2, 3])
+        assert vertex_path(4, u, v, 0, 3) == [0, 1, 2, 3]
+
+    def test_vertex_path_same(self):
+        u, v = np.array([0]), np.array([1])
+        assert vertex_path(2, u, v, 1, 1) == [1]
+
+    def test_edge_path_adjacent_edges(self):
+        u, v = np.array([0, 1]), np.array([1, 2])
+        assert edge_path(3, u, v, 0, 1) == [0, 1]
+
+    def test_edge_path_self(self):
+        u, v = np.array([0]), np.array([1])
+        assert edge_path(2, u, v, 0, 0) == [0]
+
+    def test_edge_path_through_middle(self):
+        # path graph 0-1-2-3-4, edges 0..3
+        u, v = np.arange(4), np.arange(1, 5)
+        path = edge_path(5, u, v, 0, 3)
+        assert path == [0, 1, 2, 3]
+
+    def test_edge_path_star(self):
+        u, v = np.zeros(3, dtype=int), np.array([1, 2, 3])
+        path = edge_path(4, u, v, 0, 2)
+        assert path == [0, 2]
+
+
+class TestRandomSpanningTree:
+    def test_produces_tree(self, rng):
+        for _ in range(20):
+            n = int(rng.integers(1, 60))
+            u, v, w = random_spanning_tree(n, rng, skew=float(rng.random()))
+            assert is_tree(n, u, v)
+            assert len(np.unique(w)) == len(w)  # distinct weights
+
+    def test_skew_one_is_path(self, rng):
+        u, v, w = random_spanning_tree(10, rng, skew=1.0)
+        # path graph: every vertex has degree <= 2
+        deg = np.bincount(np.concatenate([u, v]), minlength=10)
+        assert deg.max() <= 2
+
+    def test_zero_vertices_rejected(self, rng):
+        with pytest.raises(ValueError):
+            random_spanning_tree(0, rng)
