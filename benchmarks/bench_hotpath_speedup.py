@@ -1,0 +1,149 @@
+"""Hot-path speedup: seed-equivalent vs optimized PANDORA (perf trajectory).
+
+Times the full ``pandora()`` pipeline on a 1M-edge synthetic MST twice:
+
+* **seed_equivalent** -- every hot-path optimization disabled
+  (:func:`repro.parallel.seed_equivalent`) and debug validation on, i.e.
+  the code path of the seed reproduction;
+* **optimized** -- the default configuration (workspace reuse, adaptive
+  int32 dtypes, maxIncident-pointer components, pooled expansion, row
+  lookups) with debug validation off, i.e. a benchmark run.
+
+Per-phase means and standard deviations over ``REPRO_BENCH_REPEATS``
+(default 5) runs are written to ``benchmarks/BENCH_hotpath.json`` so future
+PRs can track the trajectory and catch regressions (scaled-down smoke runs
+write ``BENCH_hotpath_smoke.json`` instead, so they never clobber the
+tracked full-size numbers).  Both variants are first checked to produce
+bit-identical parent arrays.  At full size the run asserts the PR's
+acceptance bar: >= 1.5x end-to-end and >= 2x on contraction+expansion
+combined; smoke runs (CI) assert only the correctness gate, since
+millisecond-scale timings on shared runners are noise.
+
+Run as pytest (``pytest benchmarks/bench_hotpath_speedup.py``) or directly
+(``PYTHONPATH=src python benchmarks/bench_hotpath_speedup.py``); shrink with
+``REPRO_BENCH_SCALE=0.02`` for a smoke run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from conftest import scaled
+from repro.core.pandora import pandora
+from repro.parallel import (
+    debug_checks_set,
+    seed_equivalent,
+    workspace,
+)
+from repro.structures.tree import random_spanning_tree
+
+N_EDGES = scaled(1_000_000)
+REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "5"))
+#: Below this size the acceptance thresholds are not asserted: small inputs
+#: are dominated by fixed Python overhead, not memory traffic.
+FULL_SIZE = 500_000
+#: The tracked perf-trajectory artifact records *full-size* runs only;
+#: scaled-down smoke runs write a separate file so they cannot clobber it.
+_DIR = os.path.dirname(__file__)
+ARTIFACT = os.path.join(_DIR, "BENCH_hotpath.json")
+SMOKE_ARTIFACT = os.path.join(_DIR, "BENCH_hotpath_smoke.json")
+
+PHASES = ("sort", "contraction", "expansion")
+
+
+def _make_mst(n_edges: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(7)
+    u, v, w = random_spanning_tree(n_edges + 1, rng, skew=0.3)
+    return u, v, w
+
+
+def _time_variant(u, v, w, repeats: int) -> dict[str, list[float]]:
+    """Phase wall times per repeat (plus 'total'), after one warmup run."""
+    samples: dict[str, list[float]] = {p: [] for p in PHASES}
+    samples["total"] = []
+    pandora(u, v, w)  # warmup: allocator, caches, workspace
+    for _ in range(repeats):
+        _, stats = pandora(u, v, w)
+        for p in PHASES:
+            samples[p].append(stats.phase_seconds[p])
+        samples["total"].append(stats.total_seconds)
+    return samples
+
+
+def _summarize(samples: dict[str, list[float]]) -> dict[str, dict[str, float]]:
+    return {
+        p: {"mean": float(np.mean(ts)), "std": float(np.std(ts))}
+        for p, ts in samples.items()
+    }
+
+
+def run_hotpath_bench(
+    n_edges: int = N_EDGES, repeats: int = REPEATS, artifact: str | None = None
+) -> dict:
+    """Measure both variants, write the JSON artifact, return the report."""
+    if artifact is None:
+        artifact = ARTIFACT if n_edges >= FULL_SIZE else SMOKE_ARTIFACT
+    u, v, w = _make_mst(n_edges)
+
+    # Correctness gate before timing: the two variants must agree exactly.
+    with seed_equivalent(), debug_checks_set(True):
+        d_seed, _ = pandora(u, v, w)
+    d_opt, _ = pandora(u, v, w)
+    if not np.array_equal(d_seed.parent, d_opt.parent):
+        raise AssertionError("optimized parents differ from seed-equivalent")
+
+    with seed_equivalent(), debug_checks_set(True):
+        seed = _time_variant(u, v, w, repeats)
+    with debug_checks_set(False):
+        opt = _time_variant(u, v, w, repeats)
+
+    seed_s, opt_s = _summarize(seed), _summarize(opt)
+    speedup = {
+        p: seed_s[p]["mean"] / max(opt_s[p]["mean"], 1e-12)
+        for p in (*PHASES, "total")
+    }
+    ce_seed = seed_s["contraction"]["mean"] + seed_s["expansion"]["mean"]
+    ce_opt = opt_s["contraction"]["mean"] + opt_s["expansion"]["mean"]
+    speedup["contraction_plus_expansion"] = ce_seed / max(ce_opt, 1e-12)
+
+    report = {
+        "bench": "hotpath_speedup",
+        "n_edges": int(n_edges),
+        "repeats": int(repeats),
+        "unit": "seconds",
+        "variants": {
+            "seed_equivalent": seed_s,
+            "optimized": opt_s,
+        },
+        "speedup": {k: round(s, 3) for k, s in speedup.items()},
+        "workspace": workspace().stats(),
+    }
+    with open(artifact, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return report
+
+
+def test_hotpath_speedup():
+    report = run_hotpath_bench()
+    print(f"\n[hotpath] n_edges={report['n_edges']} "
+          f"speedup={report['speedup']}")
+    speedup = report["speedup"]
+    if report["n_edges"] >= FULL_SIZE:
+        assert os.path.exists(ARTIFACT)
+        assert speedup["total"] >= 1.5, speedup
+        assert speedup["contraction_plus_expansion"] >= 2.0, speedup
+    else:
+        # Smoke scale is dominated by fixed Python overhead and shared-runner
+        # noise, so no timing ratio is asserted; run_hotpath_bench already
+        # checked seed/optimized parents are bit-identical.
+        assert os.path.exists(SMOKE_ARTIFACT)
+
+
+if __name__ == "__main__":
+    out = run_hotpath_bench()
+    print(json.dumps(out, indent=2, sort_keys=True))

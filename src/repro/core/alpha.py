@@ -13,13 +13,19 @@ are edge nodes -- iff (Eq. 2):
 
 Both quantities are computed with one scatter kernel each, O(1) work per
 edge, which is what makes the contraction step cheap.
+
+Dtype adaptivity: outputs follow the index dtype of ``idx`` (int32 on the
+hot path below the 2**31 element threshold, int64 otherwise); scratch
+arrays come from the kernel workspace so repeated levels reuse one
+allocation.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..parallel.machine import emit
+from ..parallel.machine import debug_checks, emit
+from ..parallel.workspace import workspace
 
 __all__ = ["max_incident", "alpha_mask"]
 
@@ -38,11 +44,13 @@ def max_incident(
         sorted order guarantees this).
     idx:
         Global edge indices of the rows; defaults to ``0..m-1``.  Must be
-        strictly ascending.
+        strictly ascending (validated only while
+        :func:`~repro.parallel.machine.debug_checks` is on).
 
     Returns
     -------
-    ``(n_vertices,)`` int64 array; ``-1`` for vertices with no incident edge.
+    ``(n_vertices,)`` integer array in ``idx``'s dtype; ``-1`` for vertices
+    with no incident edge.
 
     Notes
     -----
@@ -53,18 +61,23 @@ def max_incident(
     """
     m = u.size
     if idx is None:
-        idx = np.arange(m, dtype=np.int64)
+        idx = np.arange(m, dtype=u.dtype if u.dtype.kind == "i" else np.int64)
     else:
-        idx = np.asarray(idx, dtype=np.int64)
-        if m > 1 and np.any(np.diff(idx) <= 0):
+        idx = np.asarray(idx)
+        if not np.issubdtype(idx.dtype, np.integer):
+            idx = idx.astype(np.int64)
+        if debug_checks() and m > 1 and np.any(np.diff(idx) <= 0):
             raise ValueError("edge indices must be strictly ascending")
-    out = np.full(n_vertices, -1, dtype=np.int64)
+    out = np.full(n_vertices, -1, dtype=idx.dtype)
     if m == 0:
         return out
-    verts = np.empty(2 * m, dtype=np.int64)
+    ws = workspace()
+    verts = ws.take("alpha.verts", 2 * m, u.dtype)
     verts[0::2] = u
     verts[1::2] = v
-    vals = np.repeat(idx, 2)
+    vals = ws.take("alpha.vals", 2 * m, idx.dtype)
+    vals[0::2] = idx
+    vals[1::2] = idx
     # Last-write-wins fancy assignment; vals ascending => max per vertex.
     out[verts] = vals
     emit("alpha.max_incident", "scatter", 2 * m)
@@ -77,6 +90,13 @@ def alpha_mask(
     """Boolean alpha-edge mask per Equation 2; one gather + map kernel."""
     m = u.size
     if idx is None:
-        idx = np.arange(m, dtype=np.int64)
+        idx = np.arange(m, dtype=max_inc.dtype)
     emit("alpha.mask", "gather", 2 * m)
-    return (max_inc[u] != idx) & (max_inc[v] != idx)
+    ws = workspace()
+    mu = ws.take("alpha.mask_u", m, max_inc.dtype)
+    mv = ws.take("alpha.mask_v", m, max_inc.dtype)
+    np.take(max_inc, u, out=mu)
+    np.take(max_inc, v, out=mv)
+    out = mu != idx
+    out &= mv != idx
+    return out

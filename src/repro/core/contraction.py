@@ -15,10 +15,25 @@ needs:
 * ``max_inc``      -- ``maxIncident`` of this level's tree (global indices);
 * ``alpha``        -- the alpha mask;
 * ``vmap``         -- this level's vertex -> next level's supervertex
-                      (``None`` on the last level).
+                      (``None`` on the last level);
+* ``row_lookup``   -- global edge index -> row in this level's arrays, so
+                      ``row_of`` is a single gather (``None`` when the
+                      row-lookup optimization is disabled).
 
 The endpoint pair order (u, v) is preserved across levels so that the
 "side" of an anchor edge has a consistent meaning at every level.
+
+Hot path (see :mod:`repro.parallel.workspace`): all index arrays run in the
+adaptive dtype (int32 below the 2**31 threshold), and the supervertex
+labeling uses the structure of the non-alpha forest instead of generic
+hook-and-shortcut CC.  In the non-alpha forest, every non-alpha edge
+``e_k = {u, v}`` satisfies ``k == maxIncident(u)`` or ``k == maxIncident(v)``
+(Eq. 2), so directing each vertex across its maxIncident edge (when that
+edge is non-alpha) yields pointers that strictly increase the edge index --
+except at the component's maximum edge, where both endpoints may point at
+each other (broken toward the smaller vertex id).  The result is a rooted
+pointer forest with exactly one root per component, resolved by pointer
+doubling alone: one "hook" map replaces the whole atomic-min hook loop.
 """
 
 from __future__ import annotations
@@ -28,7 +43,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..parallel.connected import components_of_forest
-from ..parallel.machine import emit
+from ..parallel.machine import debug_checks, emit
+from ..parallel.workspace import hotpath_config, index_dtype, workspace
 from .alpha import alpha_mask, max_incident
 
 __all__ = ["ContractionLevel", "contract_multilevel", "max_contraction_levels"]
@@ -45,6 +61,7 @@ class ContractionLevel:
     max_inc: np.ndarray    # (n_vertices,) maxIncident as *global* edge index
     alpha: np.ndarray      # (m,) bool
     vmap: np.ndarray | None = None  # (n_vertices,) -> next level supervertex
+    row_lookup: np.ndarray | None = None  # (idx[-1]+1,) global index -> row
 
     @property
     def n_edges(self) -> int:
@@ -57,12 +74,17 @@ class ContractionLevel:
     def row_of(self, global_idx: np.ndarray) -> np.ndarray:
         """Rows of the given global edge indices in this level's arrays.
 
-        ``idx`` is ascending, so a binary search suffices.  Caller must pass
+        With ``row_lookup`` present this is a single gather; otherwise
+        ``idx`` is ascending and a binary search suffices.  Caller must pass
         indices that exist at this level.
         """
-        rows = np.searchsorted(self.idx, global_idx)
         emit("contract.row_of", "gather", int(np.size(global_idx)))
-        return rows
+        if self.row_lookup is not None:
+            rows = self.row_lookup[global_idx]
+            if debug_checks() and rows.size and bool((rows < 0).any()):
+                raise ValueError("row_of: index not present at this level")
+            return rows
+        return np.searchsorted(self.idx, global_idx)
 
 
 def _classify(
@@ -72,6 +94,77 @@ def _classify(
     max_inc = max_incident(n_vertices, u, v, idx)
     mask = alpha_mask(max_inc, u, v, idx)
     return max_inc, mask
+
+
+def _build_row_lookup(idx: np.ndarray) -> np.ndarray:
+    """Scatter rows into a global-index-domain lookup table.
+
+    Off-level entries are uninitialized (``np.empty``): ``row_of``'s
+    contract already requires queried indices to exist at the level.  Under
+    debug checks they are ``-1`` instead so ``row_of`` can diagnose misuse.
+    """
+    m = int(idx.size)
+    domain = int(idx[-1]) + 1 if m else 0
+    if debug_checks():
+        lookup = np.full(domain, -1, dtype=idx.dtype)
+    else:
+        lookup = np.empty(domain, dtype=idx.dtype)
+    lookup[idx] = np.arange(m, dtype=idx.dtype)
+    emit("contract.row_lookup", "scatter", m)
+    return lookup
+
+
+def _maxinc_pointers(
+    idx: np.ndarray,
+    u: np.ndarray,
+    v: np.ndarray,
+    n_vertices: int,
+    max_inc: np.ndarray,
+    alpha: np.ndarray,
+    row_lookup: np.ndarray | None,
+) -> np.ndarray:
+    """Rooted pointer forest over the non-alpha forest (module docstring).
+
+    Returns a workspace-backed scratch array: ``ptr[x]`` is the other
+    endpoint of x's maxIncident edge when that edge is non-alpha, else x.
+    The single 2-cycle per component (both endpoints of the component's
+    maximum edge pointing at each other) is broken toward the smaller id.
+    """
+    n = n_vertices
+    dt = max_inc.dtype
+    ws = workspace()
+    if row_lookup is None:
+        row_lookup = _build_row_lookup(idx)
+    rows = ws.take("cc.maxinc_rows", n, dt)
+    # max_inc == -1 (isolated vertex) gathers a garbage row; masked below.
+    np.take(row_lookup, max_inc, out=rows, mode="wrap")
+    eu = ws.take("cc.maxinc_eu", n, dt)
+    ev = ws.take("cc.maxinc_ev", n, dt)
+    np.take(u, rows, out=eu, mode="clip")
+    np.take(v, rows, out=ev, mode="clip")
+    emit("cc.maxinc_hook", "gather", 3 * n)
+
+    ids = np.arange(n, dtype=dt)
+    ptr = ws.take("cc.maxinc_ptr", n, dt)
+    # Other endpoint of the maxIncident edge ...
+    ptr[:] = eu
+    np.copyto(ptr, ev, where=eu == ids)
+    # ... except roots: no incident edge, or the maxIncident edge is alpha
+    # (it leaves the non-alpha component).
+    root = np.take(alpha, rows, mode="clip")
+    root |= max_inc < 0
+    np.copyto(ptr, ids, where=root)
+    emit("cc.maxinc_hook.select", "map", n)
+
+    # Break the per-component 2-cycle at the maximum edge toward min(u, v).
+    p2 = ws.take("cc.maxinc_p2", n, dt)
+    np.take(ptr, ptr, out=p2)
+    cycle = p2 == ids
+    cycle &= ptr != ids
+    cycle &= ids < ptr
+    np.copyto(ptr, ids, where=cycle)
+    emit("cc.maxinc_cycle", "jump", n)
+    return ptr
 
 
 def contract_multilevel(
@@ -97,16 +190,20 @@ def contract_multilevel(
     ``vmap``.  The last level either has no alpha-edges or the level cap was
     reached.
     """
-    m = int(u.size)
-    idx = np.arange(m, dtype=np.int64)
-    u = np.asarray(u, dtype=np.int64)
-    v = np.asarray(v, dtype=np.int64)
+    cfg = hotpath_config()
+    m = int(np.size(u))
+    dt = index_dtype(m + n_vertices)
+    idx = np.arange(m, dtype=dt)
+    u = np.ascontiguousarray(u).astype(dt, copy=False)
+    v = np.ascontiguousarray(v).astype(dt, copy=False)
 
     levels: list[ContractionLevel] = []
     while True:
         max_inc, mask = _classify(idx, u, v, n_vertices)
+        lookup = _build_row_lookup(idx) if cfg.row_lookup else None
         level = ContractionLevel(
-            idx=idx, u=u, v=v, n_vertices=n_vertices, max_inc=max_inc, alpha=mask
+            idx=idx, u=u, v=v, n_vertices=n_vertices, max_inc=max_inc,
+            alpha=mask, row_lookup=lookup,
         )
         levels.append(level)
         n_alpha = level.n_alpha
@@ -121,9 +218,17 @@ def contract_multilevel(
                 f"alpha-edge bound violated: {n_alpha} > ({level.n_edges}-1)/2; "
                 "the input is not a tree in canonical order"
             )
-        non_alpha = ~mask
-        contracted = np.stack([u[non_alpha], v[non_alpha]], axis=1)
-        vmap, k = components_of_forest(n_vertices, contracted)
+        if cfg.fast_components:
+            ptr = _maxinc_pointers(idx, u, v, n_vertices, max_inc, mask, lookup)
+            vmap, k = components_of_forest(n_vertices, None, pointers=ptr)
+        else:
+            non_alpha = ~mask
+            contracted = np.stack([u[non_alpha], v[non_alpha]], axis=1)
+            vmap, k = components_of_forest(n_vertices, contracted)
+        # The generic CC path sizes its labels from n_vertices alone, which
+        # can disagree with this hierarchy's dtype (chosen from
+        # n_edges + n_vertices); pin every level array to one dtype.
+        vmap = vmap.astype(dt, copy=False)
         level.vmap = vmap
         emit("contract.relabel_edges", "gather", 2 * n_alpha)
         idx = idx[mask]

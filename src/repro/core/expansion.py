@@ -34,6 +34,7 @@ import numpy as np
 
 from ..parallel.machine import emit
 from ..parallel.primitives import lexsort, segmented_first
+from ..parallel.workspace import hotpath_config, index_dtype, workspace
 from .contraction import ContractionLevel
 
 __all__ = [
@@ -64,7 +65,94 @@ class ChainAssignment:
 
 
 def assign_chains(levels: list[ContractionLevel]) -> ChainAssignment:
-    """Map every edge to its dendrogram chain via the multilevel scan."""
+    """Map every edge to its dendrogram chain via the multilevel scan.
+
+    The hot path (``pooled_expansion``) keeps the waiting-edge pool in two
+    preallocated workspace buffers: each level's survivors are compacted
+    into the spare buffer and the level's contracted edges appended behind
+    them, so the per-level ``np.concatenate`` growth of the naive scheme
+    (and its O(levels) fresh allocations) disappears.  An edge enters the
+    pool exactly once, so a capacity of ``n_edges`` never reallocates.
+    """
+    if hotpath_config().pooled_expansion:
+        return _assign_chains_pooled(levels)
+    return _assign_chains_concat(levels)
+
+
+def _assign_chains_pooled(levels: list[ContractionLevel]) -> ChainAssignment:
+    n = levels[0].n_edges
+    anchor = np.full(n, -1, dtype=np.int64)
+    side = np.zeros(n, dtype=np.int8)
+    assigned_level = np.full(n, -1, dtype=np.int16)
+
+    dt = levels[0].idx.dtype
+    ws = workspace()
+    # Ping-pong pool halves plus one gather scratch; ``cur`` holds the live
+    # pool, survivors+newcomers are written into ``nxt``, then they swap.
+    cur_idx = ws.take("expand.pool_idx.a", n, dt)
+    cur_vert = ws.take("expand.pool_vert.a", n, dt)
+    nxt_idx = ws.take("expand.pool_idx.b", n, dt)
+    nxt_vert = ws.take("expand.pool_vert.b", n, dt)
+    tmp = ws.take("expand.pool_tmp", n, dt)
+    pool_len = 0
+
+    for li, level in enumerate(levels):
+        pool_idx = cur_idx[:pool_len]
+        pool_vert = cur_vert[:pool_len]
+        keep = None
+        if pool_len:
+            # Leaf-chain membership test (O(1) per edge per level): the
+            # anchor candidate is the dendrogram parent of the pool edge's
+            # supervertex; a larger own index means "descendant -> in chain".
+            a = np.take(level.max_inc, pool_vert)
+            emit("expand.anchor_gather", "gather", pool_len)
+            hit = (a >= 0) & (pool_idx > a)
+            emit("expand.membership_test", "map", pool_len)
+            if hit.any():
+                hit_idx = pool_idx[hit]
+                hit_anchor = a[hit]
+                rows = level.row_of(hit_anchor)
+                # side: which endpoint of the anchor is our supervertex.
+                hit_side = (level.v[rows] == pool_vert[hit]).astype(np.int8)
+                anchor[hit_idx] = hit_anchor
+                side[hit_idx] = hit_side
+                assigned_level[hit_idx] = li
+                emit("expand.assign", "scatter", int(hit_idx.size))
+                keep = ~hit
+
+        if level.vmap is None:
+            # Last level: survivors + this tree's own edges form the root
+            # chain (anchor stays -1).
+            break
+
+        # Compact survivors into the spare buffer and relabel them into the
+        # next level's supervertex ids (via ``tmp`` so no gather reads the
+        # buffer it writes), then append the edges contracted at this level.
+        if keep is None:
+            k = pool_len
+            nxt_idx[:k] = pool_idx
+            tmp[:k] = pool_vert
+        else:
+            k = int(keep.sum())
+            np.compress(keep, pool_idx, out=nxt_idx[:k])
+            np.compress(keep, pool_vert, out=tmp[:k])
+        np.take(level.vmap, tmp[:k], out=nxt_vert[:k])
+
+        non_alpha = ~level.alpha
+        c = level.n_edges - level.n_alpha
+        np.compress(non_alpha, level.idx, out=nxt_idx[k : k + c])
+        np.compress(non_alpha, level.u, out=tmp[:c])
+        np.take(level.vmap, tmp[:c], out=nxt_vert[k : k + c])
+        pool_len = k + c
+        emit("expand.pool_relabel", "gather", pool_len)
+        cur_idx, nxt_idx = nxt_idx, cur_idx
+        cur_vert, nxt_vert = nxt_vert, cur_vert
+
+    return ChainAssignment(anchor=anchor, side=side, level=assigned_level)
+
+
+def _assign_chains_concat(levels: list[ContractionLevel]) -> ChainAssignment:
+    """Seed-equivalent pool handling: per-level concatenate growth."""
     n = levels[0].n_edges
     anchor = np.full(n, -1, dtype=np.int64)
     side = np.zeros(n, dtype=np.int8)
@@ -77,9 +165,6 @@ def assign_chains(levels: list[ContractionLevel]) -> ChainAssignment:
 
     for li, level in enumerate(levels):
         if pool_idx.size:
-            # Leaf-chain membership test (O(1) per edge per level): the
-            # anchor candidate is the dendrogram parent of the pool edge's
-            # supervertex; a larger own index means "descendant -> in chain".
             a = level.max_inc[pool_vert]
             emit("expand.anchor_gather", "gather", pool_idx.size)
             hit = (a >= 0) & (pool_idx > a)
@@ -88,7 +173,6 @@ def assign_chains(levels: list[ContractionLevel]) -> ChainAssignment:
                 hit_idx = pool_idx[hit]
                 hit_anchor = a[hit]
                 rows = level.row_of(hit_anchor)
-                # side: which endpoint of the anchor is our supervertex.
                 hit_side = (level.v[rows] == pool_vert[hit]).astype(np.int8)
                 anchor[hit_idx] = hit_anchor
                 side[hit_idx] = hit_side
@@ -99,8 +183,6 @@ def assign_chains(levels: list[ContractionLevel]) -> ChainAssignment:
                 pool_vert = pool_vert[keep]
 
         if level.vmap is None:
-            # Last level: survivors + this tree's own edges form the root
-            # chain (anchor stays -1).
             break
 
         # Edges contracted at this level enter the pool, labeled in the next
@@ -138,10 +220,15 @@ def stitch_chains(
         return parent
 
     # Chain key: anchor * 2 + side; the root chain gets key -1 and sorts
-    # first, so its head lands at position 0 of the sorted order.
-    key = assignment.anchor * 2 + assignment.side
+    # first, so its head lands at position 0 of the sorted order.  Keys fit
+    # the adaptive dtype whenever 2 * n_edges does (they are compared, not
+    # used as node ids, so the narrower sort is free speedup).
+    key_dtype = index_dtype(2 * n_edges + 2)
+    key = np.empty(n_edges, dtype=key_dtype)
+    np.multiply(assignment.anchor, 2, out=key, casting="unsafe")
+    key += assignment.side
     key[assignment.anchor < 0] = -1
-    edge_ids = np.arange(n_edges, dtype=np.int64)
+    edge_ids = np.arange(n_edges, dtype=key_dtype)
     order = lexsort((edge_ids, key), name="stitch.chain_sort")
     skey = key[order]
     heads = segmented_first(skey, name="stitch.heads")

@@ -7,7 +7,12 @@ the active :class:`~repro.parallel.machine.CostModel` so runs can be re-priced
 on calibrated CPU/GPU device specs.
 """
 
-from .connected import compress_labels, components_of_forest, connected_components
+from .connected import (
+    compress_labels,
+    components_of_forest,
+    connected_components,
+    resolve_pointer_forest,
+)
 from .listrank import list_order, list_rank
 from .machine import (
     CPU_EPYC_7A53,
@@ -19,8 +24,22 @@ from .machine import (
     DeviceSpec,
     KernelRecord,
     active_model,
+    debug_checks,
+    debug_checks_set,
     emit,
+    set_debug_checks,
     tracking,
+)
+from .workspace import (
+    HotpathConfig,
+    Workspace,
+    hotpath,
+    hotpath_config,
+    index_dtype,
+    scoped_workspace,
+    seed_equivalent,
+    set_hotpath_config,
+    workspace,
 )
 from .primitives import (
     argsort,
@@ -82,4 +101,19 @@ __all__ = [
     "list_order",
     "components_of_forest",
     "compress_labels",
+    "resolve_pointer_forest",
+    # debug validation
+    "debug_checks",
+    "set_debug_checks",
+    "debug_checks_set",
+    # workspace / hot path
+    "Workspace",
+    "workspace",
+    "scoped_workspace",
+    "HotpathConfig",
+    "hotpath_config",
+    "set_hotpath_config",
+    "hotpath",
+    "seed_equivalent",
+    "index_dtype",
 ]

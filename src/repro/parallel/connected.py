@@ -3,20 +3,39 @@
 Used by PANDORA's tree-contraction step (collapsing the forest of non-alpha
 edges into supervertices) and by Boruvka's MST (collapsing chosen edges).
 
-The algorithm is the classic hook-and-shortcut (Shiloach-Vishkin) schedule,
-the same family as the GPU union-find the paper uses: min-label hooking with
-``np.minimum.at`` (an atomic-min) followed by pointer jumping to a fixed
-point.  Labels only decrease, so the loop terminates; on a forest the number
-of hook rounds is O(log n).
+Two schedules are provided:
+
+* :func:`connected_components` -- the classic hook-and-shortcut
+  (Shiloach-Vishkin) loop, the same family as the GPU union-find the paper
+  uses: min-label hooking with ``np.minimum.at`` (an atomic-min) followed by
+  pointer jumping to a fixed point.  Labels only decrease, so the loop
+  terminates; on a forest the number of hook rounds is O(log n).  Correct
+  for any graph.
+
+* :func:`resolve_pointer_forest` -- the structure-aware fast path for
+  callers that already hold a *rooted pointer forest* (``pointer[x]`` is one
+  step toward x's root, roots point to themselves).  PANDORA's contraction
+  is such a caller: in the non-alpha forest every vertex's ``maxIncident``
+  edge either leaves its component (a root) or points strictly up the edge
+  index order (see :func:`repro.core.contraction._maxinc_pointers`), so a
+  single hook toward the max-incident root followed by pointer doubling
+  replaces the whole hook-and-shortcut loop -- no atomic hooks, no repeated
+  convergence gathers over the edge list.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from .machine import emit
+from .machine import debug_checks, emit
+from .workspace import index_dtype, workspace
 
-__all__ = ["connected_components", "compress_labels", "components_of_forest"]
+__all__ = [
+    "connected_components",
+    "compress_labels",
+    "components_of_forest",
+    "resolve_pointer_forest",
+]
 
 
 def connected_components(n: int, edges: np.ndarray) -> np.ndarray:
@@ -34,16 +53,24 @@ def connected_components(n: int, edges: np.ndarray) -> np.ndarray:
     labels:
         ``(n,)`` array where ``labels[i]`` is the minimum vertex id of i's
         component (a canonical representative).
+
+    Notes
+    -----
+    Endpoint range validation runs only while
+    :func:`~repro.parallel.machine.debug_checks` is on; benchmark runs
+    disable it so the check costs nothing on the hot path.
     """
     if n < 0:
         raise ValueError(f"n must be >= 0, got {n}")
-    parent = np.arange(n, dtype=np.int64)
-    edges = np.asarray(edges, dtype=np.int64)
+    parent = np.arange(n, dtype=index_dtype(n))
+    edges = np.asarray(edges)
+    if not np.issubdtype(edges.dtype, np.integer):
+        edges = edges.astype(np.int64)
     if edges.size == 0:
         return parent
     if edges.ndim != 2 or edges.shape[1] != 2:
         raise ValueError(f"edges must have shape (m, 2), got {edges.shape}")
-    if edges.size and (edges.min() < 0 or edges.max() >= n):
+    if debug_checks() and (edges.min() < 0 or edges.max() >= n):
         raise ValueError("edge endpoint out of range")
 
     u = edges[:, 0]
@@ -77,6 +104,30 @@ def connected_components(n: int, edges: np.ndarray) -> np.ndarray:
     return parent
 
 
+def resolve_pointer_forest(pointer: np.ndarray, name: str = "cc.jump") -> np.ndarray:
+    """Resolve a rooted pointer forest to per-vertex root labels, in place.
+
+    ``pointer[x]`` must be one step toward x's root (roots point to
+    themselves) and the pointer graph must be acyclic apart from those
+    self-loops.  Pointer doubling converges in ceil(log2(depth)) rounds.
+
+    Returns the resolved array -- which may be ``pointer`` itself or a
+    workspace buffer of the same size; callers must treat it as scratch
+    with the usual workspace lifetime rules.
+    """
+    n = pointer.size
+    if n == 0:
+        return pointer
+    ws = workspace()
+    buf = ws.take("cc.jump_buf", n, pointer.dtype)
+    while True:
+        np.take(pointer, pointer, out=buf)
+        emit(name, "jump", n)
+        if np.array_equal(buf, pointer):
+            return pointer
+        pointer, buf = buf, pointer
+
+
 def compress_labels(labels: np.ndarray) -> tuple[np.ndarray, int]:
     """Map CC root labels to contiguous ids ``0..k-1``.
 
@@ -85,26 +136,43 @@ def compress_labels(labels: np.ndarray) -> tuple[np.ndarray, int]:
     which allows the O(n) mark-roots + prefix-sum + gather relabeling a GPU
     implementation uses -- no sort.  Order-preserving: the component with the
     smallest representative becomes id 0, keeping supervertex numbering
-    deterministic.
+    deterministic.  The output keeps the input's index dtype.
     """
     n = labels.size
     is_root = labels == np.arange(n, dtype=labels.dtype)
     emit("cc.mark_roots", "map", n)
     from .primitives import exclusive_scan
 
-    new_id = exclusive_scan(is_root.astype(np.int64), name="cc.relabel_scan")
+    dtype = labels.dtype if np.issubdtype(labels.dtype, np.integer) else np.int64
+    new_id = exclusive_scan(
+        is_root.astype(dtype), name="cc.relabel_scan", dtype=dtype
+    )
     k = int(new_id[-1] + is_root[-1]) if n else 0
     out = new_id[labels]
     emit("cc.relabel_gather", "gather", n)
     return out, k
 
 
-def components_of_forest(n: int, edges: np.ndarray) -> tuple[np.ndarray, int]:
+def components_of_forest(
+    n: int, edges: np.ndarray | None, *, pointers: np.ndarray | None = None
+) -> tuple[np.ndarray, int]:
     """Convenience: connected components + compact relabeling.
 
     Returns ``(labels, k)`` with labels in ``0..k-1``.  The input is trusted
     to be a forest by PANDORA's contraction (subsets of tree edges always
-    are), but the routine is correct for any graph.
+    are), but the generic routine is correct for any graph.
+
+    When the caller can derive a rooted pointer forest from structure it
+    already holds -- PANDORA's contraction builds one from the maxIncident
+    array in a single map -- passing it as ``pointers`` skips the generic
+    hook-and-shortcut loop entirely: the components are resolved by pointer
+    doubling alone (:func:`resolve_pointer_forest`).  ``pointers`` is
+    consumed as scratch.  Component *numbering* may differ between the two
+    paths (both are compact and deterministic); all PANDORA quantities are
+    invariant under supervertex relabeling.
     """
-    raw = connected_components(n, edges)
+    if pointers is not None:
+        raw = resolve_pointer_forest(pointers)
+    else:
+        raw = connected_components(n, edges)
     return compress_labels(raw)

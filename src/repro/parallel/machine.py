@@ -26,6 +26,7 @@ pointer-jumping kernels only ~3-6x, maps ~10-15x.
 
 from __future__ import annotations
 
+import os
 from contextlib import contextmanager
 from dataclasses import dataclass
 from types import MappingProxyType
@@ -40,12 +41,50 @@ __all__ = [
     "active_model",
     "emit",
     "scale_trace",
+    "debug_checks",
+    "set_debug_checks",
+    "debug_checks_set",
     "CPU_EPYC_7A53",
     "GPU_MI250X",
     "GPU_A100",
     "CPU_SEQUENTIAL",
     "DEVICES",
 ]
+
+# ---------------------------------------------------------------------------
+# Debug-validation flag.  Kernels guard their input-sanity passes (ascending
+# index checks, endpoint range checks, ...) behind this flag so the checks
+# cost nothing in benchmark runs (set REPRO_DEBUG_CHECKS=0 or call
+# ``set_debug_checks(False)``).  Enabled by default: tests and interactive
+# use keep full validation.
+# ---------------------------------------------------------------------------
+
+_DEBUG_CHECKS = os.environ.get("REPRO_DEBUG_CHECKS", "1").lower() not in (
+    "0", "false", "off",
+)
+
+
+def debug_checks() -> bool:
+    """Whether debug-only input validation is active."""
+    return _DEBUG_CHECKS
+
+
+def set_debug_checks(enabled: bool) -> bool:
+    """Enable/disable debug validation; returns the previous setting."""
+    global _DEBUG_CHECKS
+    previous = _DEBUG_CHECKS
+    _DEBUG_CHECKS = bool(enabled)
+    return previous
+
+
+@contextmanager
+def debug_checks_set(enabled: bool) -> Iterator[None]:
+    """Temporarily force debug validation on or off."""
+    previous = set_debug_checks(enabled)
+    try:
+        yield
+    finally:
+        set_debug_checks(previous)
 
 #: Kernel categories distinguished by the model.  Categories map to the
 #: parallel constructs used by the paper's implementation.

@@ -77,11 +77,20 @@ def inclusive_scan(a: np.ndarray, name: str = "scan") -> np.ndarray:
     return np.cumsum(a)
 
 
-def exclusive_scan(a: np.ndarray, name: str = "scan") -> np.ndarray:
-    """Exclusive prefix sum; returns array of the same length as ``a``."""
+def exclusive_scan(
+    a: np.ndarray, name: str = "scan", dtype: np.dtype | None = None
+) -> np.ndarray:
+    """Exclusive prefix sum; returns array of the same length as ``a``.
+
+    Integer inputs accumulate in int64 by default (overflow safety for
+    arbitrary callers); hot-path callers that know their sums fit pass an
+    explicit narrower ``dtype`` to halve the traffic.
+    """
     emit(name, "scan", a.size)
-    out = np.empty(a.size, dtype=np.result_type(a.dtype, np.int64)
-                   if np.issubdtype(a.dtype, np.integer) else a.dtype)
+    if dtype is None:
+        dtype = (np.result_type(a.dtype, np.int64)
+                 if np.issubdtype(a.dtype, np.integer) else a.dtype)
+    out = np.empty(a.size, dtype=dtype)
     if a.size:
         np.cumsum(a[:-1], out=out[1:])
         out[0] = 0
@@ -131,20 +140,27 @@ def scatter(
 
 def scatter_max_ordered(
     target: np.ndarray, idx: np.ndarray, values: np.ndarray,
-    name: str = "scatter_max",
+    name: str = "scatter_max", assume_ordered: bool = True,
 ) -> np.ndarray:
     """``target[i] = max(target[i], max of values scattered to i)``.
 
-    Requires ``values`` to be sorted ascending wherever indices collide;
-    then a plain fancy assignment (last-write-wins for duplicate indices in
-    NumPy) realizes an atomic-max.  This is how ``maxIncident`` is computed:
-    edges are stored in descending-weight order so their indices 0..m-1 are
-    ascending, making the lightest (largest-index) incident edge the last
-    writer.  An explicit atomic-max fallback (`np.maximum.at`) is used when
-    the precondition cannot be guaranteed by the caller.
+    With ``assume_ordered=True`` (the default), ``values`` must be sorted
+    ascending wherever indices collide; then a plain fancy assignment
+    (last-write-wins for duplicate indices in NumPy) realizes an atomic-max.
+    This is how ``maxIncident`` is computed: edges are stored in
+    descending-weight order so their indices 0..m-1 are ascending, making
+    the lightest (largest-index) incident edge the last writer.
+
+    Pass ``assume_ordered=False`` when the caller cannot guarantee the
+    precondition: the explicit atomic-max fallback (``np.maximum.at``, the
+    GPU ``atomicMax`` analogue) is used instead, correct for any value
+    order at a higher per-element cost.
     """
     emit(name, "scatter", int(np.size(idx)))
-    target[idx] = values
+    if assume_ordered:
+        target[idx] = values
+    else:
+        np.maximum.at(target, idx, values)
     return target
 
 
@@ -187,4 +203,5 @@ def unique_labels(labels: np.ndarray, name: str = "relabel") -> tuple[np.ndarray
     emit(name, "sort", labels.size)
     uniq, inv = np.unique(labels, return_inverse=True)
     emit(name + ".scan", "scan", labels.size)
-    return inv.astype(np.int64, copy=False), int(uniq.size)
+    out_dtype = labels.dtype if np.issubdtype(labels.dtype, np.integer) else np.int64
+    return inv.astype(out_dtype, copy=False), int(uniq.size)

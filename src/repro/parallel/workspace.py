@@ -1,0 +1,216 @@
+"""Kernel workspace: reusable scratch buffers and hot-path configuration.
+
+PANDORA's kernels are memory-bandwidth-bound (paper Sections 3.2-3.3): once
+every step is a map/scan/sort, the remaining wins come from not paying the
+allocator on every launch and from not moving twice the bytes the problem
+needs.  This module provides both levers for the NumPy reproduction:
+
+* :class:`Workspace` -- a pool of named, geometrically-grown scratch buffers.
+  Hot-path kernels ``take()`` a view of the right size instead of calling
+  ``np.empty``/``np.concatenate`` per level; across contraction levels and
+  across repeated runs of the same problem size every request after the
+  first is a zero-cost slice of an existing allocation.
+
+  **Contract for kernel authors:** a buffer obtained from ``take`` is scratch
+  owned by the *current call* only.  Never store it in a result object or a
+  :class:`~repro.core.contraction.ContractionLevel` -- anything that outlives
+  the call must be a fresh, owned array.  Two live buffers must use distinct
+  slot names; the same name may be re-``take``-n freely once the previous
+  use is finished.  Buffers are returned uninitialized (like ``np.empty``).
+
+* :class:`HotpathConfig` -- feature flags for the optimized hot path.  The
+  default enables everything; :func:`hotpath` temporarily overrides flags,
+  which is how the benchmark suite times the seed-equivalent path and how
+  the dtype property tests pin one side of an int32-vs-int64 comparison.
+
+* :func:`index_dtype` -- the dtype-adaptivity rule: index arrays run in
+  int32 whenever ``n_edges + n_vertices < 2**31`` (halving index-array
+  memory traffic), int64 above that and whenever adaptivity is disabled.
+  The public API boundary (``Dendrogram.parent``, ``as_edge_arrays``)
+  always remains int64.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import Iterator
+
+import numpy as np
+
+__all__ = [
+    "INT32_LIMIT",
+    "HotpathConfig",
+    "hotpath_config",
+    "set_hotpath_config",
+    "hotpath",
+    "seed_equivalent",
+    "index_dtype",
+    "Workspace",
+    "workspace",
+    "scoped_workspace",
+]
+
+#: Largest ``n_edges + n_vertices`` for which int32 indexing is safe.
+INT32_LIMIT = 2**31
+
+
+@dataclass(frozen=True)
+class HotpathConfig:
+    """Feature flags for the allocation-free hot path.
+
+    Attributes
+    ----------
+    adaptive_dtypes:
+        Run index arrays in int32 below :attr:`int32_limit` (int64 above
+        and at the public API boundary).
+    fast_components:
+        Use the maxIncident-pointer connected-components fast path in the
+        contraction step instead of generic hook-and-shortcut.
+    pooled_expansion:
+        Use the preallocated ping-pong pool in ``assign_chains`` instead of
+        per-level ``np.concatenate`` growth.
+    row_lookup:
+        Precompute per-level global-index -> row lookup tables so
+        ``ContractionLevel.row_of`` is a gather, not a binary search.
+    int32_limit:
+        Threshold for :func:`index_dtype`; lowered by tests to exercise the
+        int64 path on small inputs.
+    """
+
+    adaptive_dtypes: bool = True
+    fast_components: bool = True
+    pooled_expansion: bool = True
+    row_lookup: bool = True
+    int32_limit: int = INT32_LIMIT
+
+
+_CONFIG = HotpathConfig()
+
+
+def hotpath_config() -> HotpathConfig:
+    """The currently active hot-path configuration."""
+    return _CONFIG
+
+
+def set_hotpath_config(config: HotpathConfig) -> HotpathConfig:
+    """Replace the active configuration; returns the previous one."""
+    global _CONFIG
+    previous = _CONFIG
+    _CONFIG = config
+    return previous
+
+
+@contextmanager
+def hotpath(**overrides) -> Iterator[HotpathConfig]:
+    """Temporarily override hot-path flags::
+
+        with hotpath(adaptive_dtypes=False):
+            pandora(u, v, w)   # forced int64 internally
+    """
+    previous = set_hotpath_config(replace(_CONFIG, **overrides))
+    try:
+        yield _CONFIG
+    finally:
+        set_hotpath_config(previous)
+
+
+def seed_equivalent() -> "contextmanager":
+    """Context manager disabling every optimization: the seed code path.
+
+    Used by ``benchmarks/bench_hotpath_speedup.py`` as the baseline side of
+    the speedup measurement.
+    """
+    return hotpath(
+        adaptive_dtypes=False,
+        fast_components=False,
+        pooled_expansion=False,
+        row_lookup=False,
+    )
+
+
+def index_dtype(n_elements: int) -> np.dtype:
+    """Index dtype for a problem with ``n_elements`` addressable items.
+
+    ``n_elements`` should be ``n_edges + n_vertices`` of the tree being
+    processed so that every index value (edge index, vertex label, dendrogram
+    node id) is representable.
+    """
+    cfg = _CONFIG
+    if cfg.adaptive_dtypes and n_elements < cfg.int32_limit:
+        return np.dtype(np.int32)
+    return np.dtype(np.int64)
+
+
+class Workspace:
+    """Named scratch-buffer pool with geometric growth.
+
+    Buffers are keyed by ``(name, dtype)``; a request that fits an existing
+    buffer returns a view of it (a *hit*), a larger request reallocates to
+    the next power of two (a *miss*).  See the module docstring for the
+    aliasing contract.
+    """
+
+    __slots__ = ("_buffers", "hits", "misses", "bytes_allocated")
+
+    def __init__(self) -> None:
+        self._buffers: dict[tuple[str, np.dtype], np.ndarray] = {}
+        self.hits = 0
+        self.misses = 0
+        self.bytes_allocated = 0
+
+    def take(self, name: str, size: int, dtype) -> np.ndarray:
+        """A ``(size,)`` uninitialized scratch view for slot ``name``."""
+        dt = np.dtype(dtype)
+        key = (name, dt)
+        buf = self._buffers.get(key)
+        if buf is None or buf.size < size:
+            capacity = 1 << max(int(size) - 1, 0).bit_length()
+            buf = np.empty(capacity, dtype=dt)
+            self._buffers[key] = buf
+            self.misses += 1
+            self.bytes_allocated += buf.nbytes
+        else:
+            self.hits += 1
+        return buf[:size]
+
+    def clear(self) -> None:
+        """Drop every buffer (memory is released to the allocator)."""
+        self._buffers.clear()
+
+    @property
+    def n_buffers(self) -> int:
+        return len(self._buffers)
+
+    def stats(self) -> dict[str, int]:
+        """Reuse counters, e.g. for benchmark artifacts."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "bytes_allocated": self.bytes_allocated,
+            "n_buffers": self.n_buffers,
+        }
+
+
+_DEFAULT_WORKSPACE = Workspace()
+
+
+def workspace() -> Workspace:
+    """The process-wide default workspace used by the hot-path kernels."""
+    return _DEFAULT_WORKSPACE
+
+
+@contextmanager
+def scoped_workspace() -> Iterator[Workspace]:
+    """Swap in a fresh default workspace for the duration of the block.
+
+    Lets tests assert reuse behaviour without interference from buffers
+    other code already warmed up.
+    """
+    global _DEFAULT_WORKSPACE
+    previous = _DEFAULT_WORKSPACE
+    _DEFAULT_WORKSPACE = Workspace()
+    try:
+        yield _DEFAULT_WORKSPACE
+    finally:
+        _DEFAULT_WORKSPACE = previous

@@ -158,11 +158,11 @@ def emst(
         labels_perm = labels[tree.indices]
         node_lo = _node_aggregate(
             tree, leaves, leaf_starts, internal_desc, labels_perm,
-            np.minimum, np.iinfo(np.int64).max,
+            np.minimum, np.iinfo(labels_perm.dtype).max,
         )
         node_hi = _node_aggregate(
             tree, leaves, leaf_starts, internal_desc, labels_perm,
-            np.maximum, np.iinfo(np.int64).min,
+            np.maximum, np.iinfo(labels_perm.dtype).min,
         )
         node_comp = np.where(node_lo == node_hi, node_lo, -1)
         node_bound2 = _node_aggregate(

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..parallel import lexsort
+from ..parallel.workspace import index_dtype
 
 __all__ = ["SortedEdgeList", "sort_edges_descending", "as_edge_arrays"]
 
@@ -69,6 +70,11 @@ class SortedEdgeList:
     def n_edges(self) -> int:
         return int(self.u.size)
 
+    @property
+    def index_dtype(self) -> np.dtype:
+        """Dtype of the endpoint arrays (int32 on the adaptive hot path)."""
+        return self.u.dtype
+
     def endpoints(self) -> np.ndarray:
         """``(n, 2)`` endpoint array (a copy)."""
         return np.stack([self.u, self.v], axis=1)
@@ -89,14 +95,24 @@ def sort_edges_descending(u, v, w, n_vertices: int | None = None) -> SortedEdgeL
 
     This is the O(n log n) sort that Theorem 4 shows is unavoidable; it is
     accounted as a sort kernel in the cost model.
+
+    The sorted endpoint arrays are stored in the adaptive index dtype
+    (int32 below the 2**31 threshold) so every downstream kernel reads half
+    the index bytes; ``as_edge_arrays`` -- the public input boundary --
+    stays int64.
     """
     u, v, w = as_edge_arrays(u, v, w)
     if n_vertices is None:
         n_vertices = int(max(u.max(initial=-1), v.max(initial=-1)) + 1)
-    ids = np.arange(u.size, dtype=np.int64)
+    dt = index_dtype(u.size + n_vertices)
+    ids = np.arange(u.size, dtype=dt)
     # lexsort: last key is primary.  -w ascending == w descending; ties fall
     # back to input id ascending because lexsort is stable across keys.
     order = lexsort((ids, -w), name="edges.sort_desc")
     return SortedEdgeList(
-        u=u[order], v=v[order], w=w[order], order=order, n_vertices=n_vertices
+        u=u[order].astype(dt, copy=False),
+        v=v[order].astype(dt, copy=False),
+        w=w[order],
+        order=order,
+        n_vertices=n_vertices,
     )

@@ -121,6 +121,30 @@ class TestGatherScatter:
             np.maximum.at(b, idx, vals)
             assert np.array_equal(a, b)
 
+    def test_scatter_max_unordered_fallback(self):
+        """Colliding *unordered* values: the ordered trick would return the
+        last write (1), the atomic-max fallback must return the max (9)."""
+        idx = np.array([0, 0, 0, 1])
+        vals = np.array([5, 9, 1, 4])  # not ascending at the collisions
+        ordered = np.full(2, -1, dtype=np.int64)
+        scatter_max_ordered(ordered, idx, vals)
+        assert ordered[0] == 1  # precondition violated => wrong answer
+        fallback = np.full(2, -1, dtype=np.int64)
+        scatter_max_ordered(fallback, idx, vals, assume_ordered=False)
+        assert np.array_equal(fallback, [9, 4])
+
+    def test_scatter_max_fallback_matches_maximum_at_random(self, rng):
+        for _ in range(20):
+            n = int(rng.integers(1, 40))
+            m = int(rng.integers(1, 150))
+            idx = rng.integers(0, n, size=m)
+            vals = rng.integers(-50, 1000, size=m)  # arbitrary order
+            a = np.full(n, -1, dtype=np.int64)
+            scatter_max_ordered(a, idx, vals, assume_ordered=False)
+            b = np.full(n, -1, dtype=np.int64)
+            np.maximum.at(b, idx, vals)
+            assert np.array_equal(a, b)
+
     def test_scatter_min_at(self):
         a = np.full(3, 100, dtype=np.int64)
         scatter_min_at(a, np.array([0, 0, 2]), np.array([5, 3, 7]))
