@@ -8,7 +8,18 @@ Commands
                statistics and phase times; optionally verify against the
                sequential oracle and export Newick.
 ``datasets``   list the Table-2 dataset registry.
-``devices``    show the calibrated device models and price a synthetic trace.
+``devices``    show the calibrated device models, price a synthetic trace,
+               and list the registered execution backends with their
+               availability in this environment.
+
+Global options
+--------------
+``--backend NAME``  select the execution backend for the command (registry
+                    names: ``numpy`` [default], ``numba`` [requires the
+                    optional numba dependency], ``numba-python`` [the numba
+                    kernels interpreted, for parity debugging]).  The
+                    ``REPRO_BACKEND`` environment variable sets the same
+                    default process-wide; the flag wins.
 """
 
 from __future__ import annotations
@@ -99,7 +110,7 @@ def cmd_datasets(_args: argparse.Namespace) -> int:
 
 
 def cmd_devices(args: argparse.Namespace) -> int:
-    from .parallel import DEVICES, CostModel
+    from .parallel import DEVICES, CostModel, available_backends, get_backend
     from .perf import render_table
 
     model = CostModel()
@@ -120,12 +131,28 @@ def cmd_devices(args: argparse.Namespace) -> int:
         ["key", "device", "kind", f"t(n={n:,})", "MPts/s"],
         rows, title="Calibrated device models (synthetic PANDORA-shaped trace)",
     ))
+
+    active = get_backend().name
+    backend_rows = [
+        [name, "yes" if ok else "no (missing dependency)",
+         "*" if name == active else ""]
+        for name, ok in available_backends().items()
+    ]
+    print(render_table(
+        ["backend", "available", "active"],
+        backend_rows, title="Registered execution backends",
+    ))
     return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="PANDORA reproduction CLI"
+    )
+    parser.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="execution backend (see 'devices' for the registry; "
+             "default: $REPRO_BACKEND or 'numpy')",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -158,7 +185,18 @@ def main(argv: list[str] | None = None) -> int:
     p.set_defaults(fn=cmd_devices)
 
     args = parser.parse_args(argv)
-    return args.fn(args)
+    if args.backend is None:
+        return args.fn(args)
+    # Process-default selection, as documented in the backend module's
+    # resolution order (use_backend contexts still override it).  Restored
+    # afterwards so in-process callers (tests) see no leaked default.
+    from .parallel import set_default_backend
+
+    previous = set_default_backend(args.backend)
+    try:
+        return args.fn(args)
+    finally:
+        set_default_backend(previous)
 
 
 if __name__ == "__main__":

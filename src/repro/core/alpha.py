@@ -14,9 +14,12 @@ are edge nodes -- iff (Eq. 2):
 Both quantities are computed with one scatter kernel each, O(1) work per
 edge, which is what makes the contraction step cheap.
 
-Dtype adaptivity: outputs follow the index dtype of ``idx`` (int32 on the
-hot path below the 2**31 element threshold, int64 otherwise); scratch
-arrays come from the kernel workspace so repeated levels reuse one
+Backend routing: all kernel work dispatches through the active
+:class:`~repro.parallel.backend.Backend` (the maxIncident scatter is the
+backend's ``scatter_max_pairs`` kernel; the numba backend fuses it into a
+single loop).  Dtype adaptivity: outputs follow the index dtype of ``idx``
+(int32 on the hot path below the 2**31 element threshold, int64 otherwise);
+scratch comes from the backend's workspace so repeated levels reuse one
 allocation.
 """
 
@@ -24,8 +27,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..parallel.backend import get_backend
 from ..parallel.machine import debug_checks, emit
-from ..parallel.workspace import workspace
 
 __all__ = ["max_incident", "alpha_mask"]
 
@@ -54,49 +57,40 @@ def max_incident(
 
     Notes
     -----
-    Uses the ordered-scatter trick: interleave the two endpoint columns so
-    writes occur in ascending index order, then a plain fancy assignment's
-    last-write-wins semantics realizes an atomic-max in a single pass.  This
-    is the NumPy analogue of the paper's one `parallel_for` + `atomicMax`.
+    Dispatches the backend's ``scatter_max_pairs`` kernel: writes happen in
+    ascending index order over both endpoint columns, so last-write-wins
+    realizes an atomic-max in a single pass (the analogue of the paper's
+    one ``parallel_for`` + ``atomicMax``).
     """
+    backend = get_backend()
     m = u.size
     if idx is None:
-        idx = np.arange(m, dtype=u.dtype if u.dtype.kind == "i" else np.int64)
+        idx = backend.arange(m, u.dtype if u.dtype.kind == "i" else np.int64)
     else:
-        idx = np.asarray(idx)
+        idx = backend.asarray(idx)
         if not np.issubdtype(idx.dtype, np.integer):
             idx = idx.astype(np.int64)
         if debug_checks() and m > 1 and np.any(np.diff(idx) <= 0):
             raise ValueError("edge indices must be strictly ascending")
-    out = np.full(n_vertices, -1, dtype=idx.dtype)
+    out = backend.full(n_vertices, -1, idx.dtype)
     if m == 0:
         return out
-    ws = workspace()
-    verts = ws.take("alpha.verts", 2 * m, u.dtype)
-    verts[0::2] = u
-    verts[1::2] = v
-    vals = ws.take("alpha.vals", 2 * m, idx.dtype)
-    vals[0::2] = idx
-    vals[1::2] = idx
-    # Last-write-wins fancy assignment; vals ascending => max per vertex.
-    out[verts] = vals
-    emit("alpha.max_incident", "scatter", 2 * m)
-    return out
+    return backend.scatter_max_pairs(out, u, v, idx, name="alpha.max_incident")
 
 
 def alpha_mask(
     max_inc: np.ndarray, u: np.ndarray, v: np.ndarray, idx: np.ndarray | None = None
 ) -> np.ndarray:
     """Boolean alpha-edge mask per Equation 2; one gather + map kernel."""
+    backend = get_backend()
     m = u.size
     if idx is None:
-        idx = np.arange(m, dtype=max_inc.dtype)
+        idx = backend.arange(m, max_inc.dtype)
     emit("alpha.mask", "gather", 2 * m)
-    ws = workspace()
-    mu = ws.take("alpha.mask_u", m, max_inc.dtype)
-    mv = ws.take("alpha.mask_v", m, max_inc.dtype)
-    np.take(max_inc, u, out=mu)
-    np.take(max_inc, v, out=mv)
+    mu = backend.take("alpha.mask_u", m, max_inc.dtype)
+    mv = backend.take("alpha.mask_v", m, max_inc.dtype)
+    backend.gather_into(max_inc, u, out=mu, name=None)
+    backend.gather_into(max_inc, v, out=mv, name=None)
     out = mu != idx
     out &= mv != idx
     return out

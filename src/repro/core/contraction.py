@@ -38,13 +38,15 @@ doubling alone: one "hook" map replaces the whole atomic-min hook loop.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..parallel.backend import get_backend
 from ..parallel.connected import components_of_forest
 from ..parallel.machine import debug_checks, emit
-from ..parallel.workspace import hotpath_config, index_dtype, workspace
+from ..parallel.workspace import hotpath_config, index_dtype
 from .alpha import alpha_mask, max_incident
 
 __all__ = ["ContractionLevel", "contract_multilevel", "max_contraction_levels"]
@@ -103,14 +105,16 @@ def _build_row_lookup(idx: np.ndarray) -> np.ndarray:
     contract already requires queried indices to exist at the level.  Under
     debug checks they are ``-1`` instead so ``row_of`` can diagnose misuse.
     """
+    backend = get_backend()
     m = int(idx.size)
     domain = int(idx[-1]) + 1 if m else 0
     if debug_checks():
-        lookup = np.full(domain, -1, dtype=idx.dtype)
+        lookup = backend.full(domain, -1, idx.dtype)
     else:
-        lookup = np.empty(domain, dtype=idx.dtype)
-    lookup[idx] = np.arange(m, dtype=idx.dtype)
-    emit("contract.row_lookup", "scatter", m)
+        lookup = backend.empty(domain, idx.dtype)
+    backend.scatter(
+        lookup, idx, backend.arange(m, idx.dtype), name="contract.row_lookup"
+    )
     return lookup
 
 
@@ -130,39 +134,40 @@ def _maxinc_pointers(
     The single 2-cycle per component (both endpoints of the component's
     maximum edge pointing at each other) is broken toward the smaller id.
     """
+    backend = get_backend()
     n = n_vertices
     dt = max_inc.dtype
-    ws = workspace()
     if row_lookup is None:
         row_lookup = _build_row_lookup(idx)
-    rows = ws.take("cc.maxinc_rows", n, dt)
+    rows = backend.take("cc.maxinc_rows", n, dt)
     # max_inc == -1 (isolated vertex) gathers a garbage row; masked below.
-    np.take(row_lookup, max_inc, out=rows, mode="wrap")
-    eu = ws.take("cc.maxinc_eu", n, dt)
-    ev = ws.take("cc.maxinc_ev", n, dt)
-    np.take(u, rows, out=eu, mode="clip")
-    np.take(v, rows, out=ev, mode="clip")
+    backend.gather_into(row_lookup, max_inc, out=rows, mode="wrap", name=None)
+    eu = backend.take("cc.maxinc_eu", n, dt)
+    ev = backend.take("cc.maxinc_ev", n, dt)
+    backend.gather_into(u, rows, out=eu, mode="clip", name=None)
+    backend.gather_into(v, rows, out=ev, mode="clip", name=None)
     emit("cc.maxinc_hook", "gather", 3 * n)
 
-    ids = np.arange(n, dtype=dt)
-    ptr = ws.take("cc.maxinc_ptr", n, dt)
+    ids = backend.arange(n, dt)
+    ptr = backend.take("cc.maxinc_ptr", n, dt)
     # Other endpoint of the maxIncident edge ...
     ptr[:] = eu
-    np.copyto(ptr, ev, where=eu == ids)
+    backend.masked_fill(ptr, eu == ids, ev, name=None)
     # ... except roots: no incident edge, or the maxIncident edge is alpha
     # (it leaves the non-alpha component).
-    root = np.take(alpha, rows, mode="clip")
+    root = backend.take("cc.maxinc_root", n, np.bool_)
+    backend.gather_into(alpha, rows, out=root, mode="clip", name=None)
     root |= max_inc < 0
-    np.copyto(ptr, ids, where=root)
+    backend.masked_fill(ptr, root, ids, name=None)
     emit("cc.maxinc_hook.select", "map", n)
 
     # Break the per-component 2-cycle at the maximum edge toward min(u, v).
-    p2 = ws.take("cc.maxinc_p2", n, dt)
-    np.take(ptr, ptr, out=p2)
+    p2 = backend.take("cc.maxinc_p2", n, dt)
+    backend.gather_into(ptr, ptr, out=p2, name=None)
     cycle = p2 == ids
     cycle &= ptr != ids
     cycle &= ids < ptr
-    np.copyto(ptr, ids, where=cycle)
+    backend.masked_fill(ptr, cycle, ids, name=None)
     emit("cc.maxinc_cycle", "jump", n)
     return ptr
 
@@ -191,9 +196,10 @@ def contract_multilevel(
     reached.
     """
     cfg = hotpath_config()
+    backend = get_backend()
     m = int(np.size(u))
     dt = index_dtype(m + n_vertices)
-    idx = np.arange(m, dtype=dt)
+    idx = backend.arange(m, dt)
     u = np.ascontiguousarray(u).astype(dt, copy=False)
     v = np.ascontiguousarray(v).astype(dt, copy=False)
 
@@ -240,8 +246,6 @@ def contract_multilevel(
 
 def max_contraction_levels(n_edges: int) -> int:
     """Upper bound on contraction levels: ceil(log2(n+1)) (Section 4.2)."""
-    import math
-
     if n_edges <= 0:
         return 0
     return math.ceil(math.log2(n_edges + 1))

@@ -32,9 +32,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..parallel.backend import get_backend
 from ..parallel.machine import emit
 from ..parallel.primitives import lexsort, segmented_first
-from ..parallel.workspace import hotpath_config, index_dtype, workspace
+from ..parallel.workspace import hotpath_config, index_dtype
 from .contraction import ContractionLevel
 
 __all__ = [
@@ -80,20 +81,21 @@ def assign_chains(levels: list[ContractionLevel]) -> ChainAssignment:
 
 
 def _assign_chains_pooled(levels: list[ContractionLevel]) -> ChainAssignment:
+    backend = get_backend()
     n = levels[0].n_edges
-    anchor = np.full(n, -1, dtype=np.int64)
-    side = np.zeros(n, dtype=np.int8)
-    assigned_level = np.full(n, -1, dtype=np.int16)
+    anchor = backend.full(n, -1, np.int64)
+    side = backend.zeros(n, np.int8)
+    assigned_level = backend.full(n, -1, np.int16)
 
     dt = levels[0].idx.dtype
-    ws = workspace()
-    # Ping-pong pool halves plus one gather scratch; ``cur`` holds the live
-    # pool, survivors+newcomers are written into ``nxt``, then they swap.
-    cur_idx = ws.take("expand.pool_idx.a", n, dt)
-    cur_vert = ws.take("expand.pool_vert.a", n, dt)
-    nxt_idx = ws.take("expand.pool_idx.b", n, dt)
-    nxt_vert = ws.take("expand.pool_vert.b", n, dt)
-    tmp = ws.take("expand.pool_tmp", n, dt)
+    # Ping-pong pool halves; ``cur`` holds the live pool, survivors plus
+    # newcomers are written into ``nxt`` by the backend's pool-partition
+    # kernel, then they swap.  An edge enters the pool exactly once, so a
+    # capacity of ``n`` never reallocates.
+    cur_idx = backend.take("expand.pool_idx.a", n, dt)
+    cur_vert = backend.take("expand.pool_vert.a", n, dt)
+    nxt_idx = backend.take("expand.pool_idx.b", n, dt)
+    nxt_vert = backend.take("expand.pool_vert.b", n, dt)
     pool_len = 0
 
     for li, level in enumerate(levels):
@@ -104,19 +106,22 @@ def _assign_chains_pooled(levels: list[ContractionLevel]) -> ChainAssignment:
             # Leaf-chain membership test (O(1) per edge per level): the
             # anchor candidate is the dendrogram parent of the pool edge's
             # supervertex; a larger own index means "descendant -> in chain".
-            a = np.take(level.max_inc, pool_vert)
-            emit("expand.anchor_gather", "gather", pool_len)
-            hit = (a >= 0) & (pool_idx > a)
-            emit("expand.membership_test", "map", pool_len)
+            a = backend.gather(
+                level.max_inc, pool_vert, name="expand.anchor_gather"
+            )
+            hit = backend.map(
+                lambda aa, pi: (aa >= 0) & (pi > aa), a, pool_idx,
+                name="expand.membership_test",
+            )
             if hit.any():
                 hit_idx = pool_idx[hit]
                 hit_anchor = a[hit]
                 rows = level.row_of(hit_anchor)
                 # side: which endpoint of the anchor is our supervertex.
                 hit_side = (level.v[rows] == pool_vert[hit]).astype(np.int8)
-                anchor[hit_idx] = hit_anchor
-                side[hit_idx] = hit_side
-                assigned_level[hit_idx] = li
+                backend.scatter(anchor, hit_idx, hit_anchor, name=None)
+                backend.scatter(side, hit_idx, hit_side, name=None)
+                backend.scatter(assigned_level, hit_idx, li, name=None)
                 emit("expand.assign", "scatter", int(hit_idx.size))
                 keep = ~hit
 
@@ -125,26 +130,14 @@ def _assign_chains_pooled(levels: list[ContractionLevel]) -> ChainAssignment:
             # chain (anchor stays -1).
             break
 
-        # Compact survivors into the spare buffer and relabel them into the
-        # next level's supervertex ids (via ``tmp`` so no gather reads the
-        # buffer it writes), then append the edges contracted at this level.
-        if keep is None:
-            k = pool_len
-            nxt_idx[:k] = pool_idx
-            tmp[:k] = pool_vert
-        else:
-            k = int(keep.sum())
-            np.compress(keep, pool_idx, out=nxt_idx[:k])
-            np.compress(keep, pool_vert, out=tmp[:k])
-        np.take(level.vmap, tmp[:k], out=nxt_vert[:k])
-
-        non_alpha = ~level.alpha
-        c = level.n_edges - level.n_alpha
-        np.compress(non_alpha, level.idx, out=nxt_idx[k : k + c])
-        np.compress(non_alpha, level.u, out=tmp[:c])
-        np.take(level.vmap, tmp[:c], out=nxt_vert[k : k + c])
-        pool_len = k + c
-        emit("expand.pool_relabel", "gather", pool_len)
+        # One backend kernel: compact survivors, relabel them into the next
+        # level's supervertex ids, and append the edges contracted at this
+        # level (the numba backend fuses all of it into a single loop).
+        pool_len = backend.expand_pool_partition(
+            pool_idx, pool_vert, keep, level.vmap,
+            level.idx, level.u, ~level.alpha, level.n_edges - level.n_alpha,
+            nxt_idx, nxt_vert, name="expand.pool_relabel",
+        )
         cur_idx, nxt_idx = nxt_idx, cur_idx
         cur_vert, nxt_vert = nxt_vert, cur_vert
 
@@ -209,7 +202,8 @@ def stitch_chains(
     nodes.  Vertex-node parents come directly from Eq. 1
     (``P(v) = maxIncident(v)`` in the original tree).
     """
-    parent = np.full(n_edges + n_vertices, -1, dtype=np.int64)
+    backend = get_backend()
+    parent = backend.full(n_edges + n_vertices, -1, np.int64)
 
     # Vertex nodes (leaves).  Isolated vertices (only possible when the tree
     # is empty) keep -1.
@@ -224,11 +218,9 @@ def stitch_chains(
     # the adaptive dtype whenever 2 * n_edges does (they are compared, not
     # used as node ids, so the narrower sort is free speedup).
     key_dtype = index_dtype(2 * n_edges + 2)
-    key = np.empty(n_edges, dtype=key_dtype)
-    np.multiply(assignment.anchor, 2, out=key, casting="unsafe")
-    key += assignment.side
-    key[assignment.anchor < 0] = -1
-    edge_ids = np.arange(n_edges, dtype=key_dtype)
+    key = backend.empty(n_edges, key_dtype)
+    backend.chain_sort_keys(assignment.anchor, assignment.side, key, name=None)
+    edge_ids = backend.arange(n_edges, key_dtype)
     order = lexsort((edge_ids, key), name="stitch.chain_sort")
     skey = key[order]
     heads = segmented_first(skey, name="stitch.heads")
@@ -236,14 +228,20 @@ def stitch_chains(
     # Parent of every non-head chain member is its predecessor in the sorted
     # order (ascending index within a chain = heavier first).
     if n_edges > 1:
-        parent[order[1:][~heads[1:]]] = order[:-1][~heads[1:]]
+        backend.scatter(
+            parent, order[1:][~heads[1:]], order[:-1][~heads[1:]], name=None
+        )
     emit("stitch.link", "scatter", n_edges)
 
     # Chain heads attach to their anchors; the root chain head (key -1) is
     # the global root and keeps parent -1.
     head_nodes = order[heads]
     head_keys = skey[heads]
-    parent[head_nodes] = np.where(head_keys >= 0, head_keys >> 1, -1)
+    backend.scatter(
+        parent, head_nodes,
+        backend.where(head_keys >= 0, head_keys >> 1, -1, name=None),
+        name=None,
+    )
     emit("stitch.anchors", "scatter", int(head_nodes.size))
     return parent
 

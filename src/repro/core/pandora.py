@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..parallel.backend import get_backend
 from ..parallel.machine import CostModel, active_model, tracking
 from ..structures.dendrogram import Dendrogram
 from ..structures.edgelist import sort_edges_descending
@@ -151,8 +152,11 @@ def pandora_parents(
     Row k is edge index k.  Used for recursive invocations on contracted
     trees, where weights are implied by the (preserved) index order.
     """
+    backend = get_backend()
     levels = contract_multilevel(
-        np.asarray(u, dtype=np.int64), np.asarray(v, dtype=np.int64), n_vertices
+        backend.asarray(u, dtype=np.int64),
+        backend.asarray(v, dtype=np.int64),
+        n_vertices,
     )
     assignment = assign_chains(levels)
     return stitch_chains(assignment, len(u), n_vertices, levels[0].max_inc)
@@ -187,11 +191,12 @@ def dendrogram_single_level(
     with model.phase("expansion"):
         if len(levels) == 1:
             # No alpha-edges: the dendrogram is one sorted chain.
+            backend = get_backend()
             n, nv = edges.n_edges, edges.n_vertices
-            parent = np.full(n + nv, -1, dtype=np.int64)
+            parent = backend.full(n + nv, -1, np.int64)
             parent[n:] = levels[0].max_inc
             if n > 1:
-                parent[1:n] = np.arange(n - 1)
+                parent[1:n] = backend.arange(n - 1, np.int64)
         else:
             t_0, t_1 = levels[0], levels[1]
             # Contracted dendrogram of T_1 (computed exactly, then walked).

@@ -19,9 +19,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..parallel.backend import get_backend
 from ..parallel.connected import connected_components
 from ..parallel.machine import emit
-from ..parallel.primitives import segmented_first
+from ..parallel.primitives import argsort, lexsort, scatter, segmented_first, sort
 from ..structures.edgelist import as_edge_arrays
 
 __all__ = ["mst_boruvka"]
@@ -41,8 +42,7 @@ def mst_boruvka(
     # Global pre-sort by (weight, id): within any component grouping that is
     # stable, the first edge of each segment is the component minimum.
     ids = np.arange(m, dtype=np.int64)
-    order = np.lexsort((ids, w))
-    emit("boruvka.presort", "sort", m)
+    order = lexsort((ids, w), name="boruvka.presort")
     su, sv, sid = u[order], v[order], ids[order]
 
     labels = np.arange(n_vertices, dtype=np.int64)
@@ -58,17 +58,20 @@ def mst_boruvka(
         # Duplicate each cross edge for both of its component sides,
         # *interleaved* so positions stay weight-ascending within a
         # component group under the stable sort.
+        backend = get_backend()
         nc = int(cross.sum())
-        comp_keys = np.empty(2 * nc, dtype=np.int64)
+        comp_keys = backend.empty(2 * nc, np.int64)
         comp_keys[0::2] = cu[cross]
         comp_keys[1::2] = cv[cross]
-        edge_rows = np.repeat(np.nonzero(cross)[0], 2)
-        grp = np.argsort(comp_keys, kind="stable")
-        emit("boruvka.group_by_component", "sort", comp_keys.size)
+        rows = backend.compact(ids, cross, name=None)
+        edge_rows = backend.empty(2 * nc, np.int64)
+        edge_rows[0::2] = rows
+        edge_rows[1::2] = rows
+        grp = argsort(comp_keys, name="boruvka.group_by_component")
         heads = segmented_first(comp_keys[grp], name="boruvka.heads")
         min_rows = edge_rows[grp[heads]]  # min outgoing edge per component
-        chosen_mask[np.unique(min_rows)] = True
-        emit("boruvka.mark_chosen", "scatter", int(min_rows.size))
+        # Duplicate rows scatter the same True: no dedup pass needed.
+        scatter(chosen_mask, min_rows, True, name="boruvka.mark_chosen")
         # Contract the chosen edges for the next round: the pairs connect
         # component representatives (which are vertex ids), so run CC on them
         # and compose with the existing labeling.
@@ -77,6 +80,5 @@ def mst_boruvka(
         labels = merged[labels]
         emit("boruvka.compose_labels", "gather", n_vertices)
 
-    sel = np.sort(sid[chosen_mask])
-    emit("boruvka.collect", "sort", int(sel.size))
+    sel = sort(sid[chosen_mask], name="boruvka.collect")
     return u[sel], v[sel], w[sel]

@@ -1,12 +1,27 @@
-"""Data-parallel substrate: primitives, union-find, CC, and the machine model.
+"""Data-parallel substrate: backends, primitives, union-find, CC, machine model.
 
 This package is the reproduction's substitute for Kokkos: algorithms above it
 are written purely in terms of maps, scans, sorts, gathers and scatters, and
-every such call both executes (as a bulk NumPy kernel) and is accounted in
-the active :class:`~repro.parallel.machine.CostModel` so runs can be re-priced
-on calibrated CPU/GPU device specs.
+every such call both executes -- on the active pluggable
+:class:`~repro.parallel.backend.Backend` (``numpy`` reference kernels by
+default, JIT-fused loops on the optional ``numba`` backend) -- and is
+accounted in the active :class:`~repro.parallel.machine.CostModel` so runs
+can be re-priced on calibrated CPU/GPU device specs.  The kernel trace is
+backend-invariant by contract.
 """
 
+from .backend import (
+    Backend,
+    BackendUnavailable,
+    NumpyBackend,
+    available_backends,
+    backend_available,
+    get_backend,
+    register_backend,
+    registered_backends,
+    set_default_backend,
+    use_backend,
+)
 from .connected import (
     compress_labels,
     components_of_forest,
@@ -63,6 +78,17 @@ from .primitives import (
 from .unionfind import ArrayUnionFind, UnionFind
 
 __all__ = [
+    # backends
+    "Backend",
+    "NumpyBackend",
+    "BackendUnavailable",
+    "register_backend",
+    "registered_backends",
+    "available_backends",
+    "backend_available",
+    "get_backend",
+    "set_default_backend",
+    "use_backend",
     # machine
     "CostModel",
     "DeviceSpec",

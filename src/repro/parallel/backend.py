@@ -1,0 +1,605 @@
+"""Pluggable execution backends: the layer under the primitive vocabulary.
+
+The PANDORA paper dispatches one fixed vocabulary of data-parallel kernels
+(maps, reductions, scans, sorts, gathers, scatters, pointer jumps) through
+Kokkos to interchangeable CPU/GPU execution spaces.  This module is the
+reproduction's version of that seam: a :class:`Backend` declares the
+vocabulary, concrete backends realize it, and everything above --
+:mod:`repro.parallel.primitives`, the connected-components kernels, and the
+:mod:`repro.core` hot paths -- calls whichever backend is active.
+
+Backends
+--------
+``numpy``
+    :class:`NumpyBackend`, the reference realization: every kernel is a bulk
+    vectorized NumPy operation, exactly the code paths of the pre-backend
+    reproduction (bit-identical output, identical kernel traces).
+``numba``
+    :class:`~repro.parallel.backend_numba.NumbaBackend`, an optional-
+    dependency JIT backend that fuses the scatter/jump-heavy inner loops
+    (pointer doubling, ordered scatter-max, the expansion pool partition)
+    and narrows the canonical descending-weight sort to a single radix-
+    sortable u64 key.  Registered always; *available* only when numba is
+    importable.
+``numba-python``
+    The same fused-kernel definitions executed by the plain interpreter
+    (no JIT).  Slow, but always available: the backend-parity test suite
+    uses it to validate the numba kernels in environments without numba.
+
+Selection
+---------
+The active backend is resolved in priority order:
+
+1. the innermost :func:`use_backend` context, if any;
+2. the process default set by :func:`set_default_backend` (the CLI's
+   ``--backend`` flag calls this);
+3. the ``REPRO_BACKEND`` environment variable;
+4. ``numpy``.
+
+Contract for backend authors
+----------------------------
+* **Same math, same trace.**  An override must produce bit-identical arrays
+  to :class:`NumpyBackend` and emit the *same* :class:`KernelRecord`
+  sequence (name, category, work, count).  Backend-internal fusion (e.g.
+  building the narrowed sort key inside the sort kernel) is invisible to
+  the trace: the trace records the logical parallel schedule, not the
+  realization.
+* **Workspace ownership.**  Every backend instance owns its scratch-buffer
+  pool (:attr:`Backend.workspace`); a future CuPy backend hands out device
+  arrays from the same interface.  :func:`repro.parallel.workspace.workspace`
+  resolves to the *active* backend's pool.
+* **No-emit calls.**  Vocabulary methods accept ``name=None`` to suppress
+  kernel accounting; kernel authors use this when several backend calls
+  realize one logical kernel whose combined record they emit themselves.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+import numpy as np
+
+from .machine import KernelCategory, emit
+from .workspace import Workspace
+
+__all__ = [
+    "Backend",
+    "NumpyBackend",
+    "BackendUnavailable",
+    "register_backend",
+    "registered_backends",
+    "available_backends",
+    "backend_available",
+    "get_backend",
+    "set_default_backend",
+    "use_backend",
+]
+
+
+class BackendUnavailable(RuntimeError):
+    """A registered backend cannot run in this environment."""
+
+
+class Backend:
+    """Interface of the data-parallel execution substrate.
+
+    Subclasses realize the primitive vocabulary; callers obtain the active
+    instance with :func:`get_backend`.  Every method that performs kernel
+    work takes a ``name`` argument: the emitted
+    :class:`~repro.parallel.machine.KernelRecord` name, or ``None`` to
+    suppress emission when the caller accounts a fused kernel itself.
+    """
+
+    #: Registry name; informational on unregistered instances.
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        #: Backend-owned scratch pool (see module docstring).
+        self.workspace = Workspace()
+
+    # -- helpers -----------------------------------------------------------
+    def _emit(self, name: str | None, category: KernelCategory, work: int) -> None:
+        if name is not None:
+            emit(name, category, work)
+
+    def take(self, name: str, size: int, dtype) -> np.ndarray:
+        """Scratch buffer from this backend's workspace (see its contract)."""
+        return self.workspace.take(name, size, dtype)
+
+    # -- array constructors (no kernel accounting) -------------------------
+    # A future device backend returns device arrays from these; hot-path
+    # code must not call np.empty/np.full/np.arange directly.
+    def asarray(self, a, dtype=None) -> np.ndarray:
+        raise NotImplementedError
+
+    def empty(self, n: int, dtype) -> np.ndarray:
+        raise NotImplementedError
+
+    def zeros(self, n: int, dtype) -> np.ndarray:
+        raise NotImplementedError
+
+    def full(self, n: int, fill, dtype) -> np.ndarray:
+        raise NotImplementedError
+
+    def arange(self, n: int, dtype) -> np.ndarray:
+        raise NotImplementedError
+
+    # -- primitive vocabulary ----------------------------------------------
+    def map(self, fn, *arrays: np.ndarray, name: str | None = "map") -> np.ndarray:
+        raise NotImplementedError
+
+    def reduce_sum(self, a, name: str | None = "reduce_sum"):
+        raise NotImplementedError
+
+    def reduce_max(self, a, name: str | None = "reduce_max"):
+        raise NotImplementedError
+
+    def reduce_min(self, a, name: str | None = "reduce_min"):
+        raise NotImplementedError
+
+    def inclusive_scan(self, a, name: str | None = "scan") -> np.ndarray:
+        raise NotImplementedError
+
+    def exclusive_scan(self, a, name: str | None = "scan", dtype=None) -> np.ndarray:
+        raise NotImplementedError
+
+    def sort(self, a, name: str | None = "sort") -> np.ndarray:
+        raise NotImplementedError
+
+    def argsort(self, a, name: str | None = "argsort") -> np.ndarray:
+        raise NotImplementedError
+
+    def lexsort(self, keys, name: str | None = "lexsort") -> np.ndarray:
+        raise NotImplementedError
+
+    def sort_by_key(self, keys, values, name: str | None = "sort_by_key"):
+        raise NotImplementedError
+
+    def canonical_sort_order(
+        self, weights, ids, name: str | None = "edges.sort_desc"
+    ) -> np.ndarray:
+        """Permutation sorting by (weight descending, position ascending).
+
+        ``ids`` must be the identity permutation in the caller's index
+        dtype; it participates only as the tie-breaker, which lets a
+        backend replace the two-key lexsort with a narrowed single-key
+        sort (same record emitted either way).  ``weights`` must be
+        NaN-free (``as_edge_arrays`` guarantees this).
+        """
+        raise NotImplementedError
+
+    def gather(self, a, idx, name: str | None = "gather") -> np.ndarray:
+        raise NotImplementedError
+
+    def gather_into(
+        self, a, idx, out, mode: str = "raise", name: str | None = "gather"
+    ) -> np.ndarray:
+        """``out[i] = a[idx[i]]`` into a preallocated buffer."""
+        raise NotImplementedError
+
+    def scatter(self, target, idx, values, name: str | None = "scatter"):
+        raise NotImplementedError
+
+    def scatter_max_ordered(
+        self, target, idx, values, name: str | None = "scatter_max",
+        assume_ordered: bool = True,
+    ):
+        raise NotImplementedError
+
+    def scatter_max_pairs(self, out, u, v, idx, name: str | None = "scatter_max"):
+        """maxIncident kernel: ``out[u[i]] = out[v[i]] = idx[i]`` in order.
+
+        ``idx`` ascending makes last-write-wins an atomic-max over both
+        endpoint columns (paper Eq. 1 in one scatter).
+        """
+        raise NotImplementedError
+
+    def scatter_min_at(self, target, idx, values, name: str | None = "scatter_min"):
+        raise NotImplementedError
+
+    def masked_fill(self, dst, mask, src, name: str | None = None) -> np.ndarray:
+        """``dst[i] = src[i] (or scalar src) where mask[i]``, in place."""
+        raise NotImplementedError
+
+    def where(self, cond, a, b, name: str | None = None) -> np.ndarray:
+        raise NotImplementedError
+
+    def compact(self, a, mask, name: str | None = "compact") -> np.ndarray:
+        raise NotImplementedError
+
+    def compress_into(self, mask, a, out, name: str | None = None) -> np.ndarray:
+        """Stream-compact ``a[mask]`` into a preallocated buffer."""
+        raise NotImplementedError
+
+    def segmented_first(self, sorted_keys, name: str | None = "segmented_first"):
+        raise NotImplementedError
+
+    def unique_labels(self, labels, name: str | None = "relabel"):
+        raise NotImplementedError
+
+    # -- fused hot-path kernels --------------------------------------------
+    def resolve_pointer_forest(self, pointer, name: str = "cc.jump") -> np.ndarray:
+        """Pointer-double a rooted pointer forest to per-element root labels.
+
+        One ``jump`` record per doubling round (including the terminal
+        no-change round), work ``pointer.size`` each.  The result may be
+        ``pointer`` itself or a workspace buffer: scratch lifetime rules
+        apply.
+        """
+        raise NotImplementedError
+
+    def expand_pool_partition(
+        self, pool_idx, pool_vert, keep, vmap,
+        level_idx, level_u, non_alpha, n_contracted,
+        nxt_idx, nxt_vert, name: str | None = "expand.pool_relabel",
+    ) -> int:
+        """One level of ``assign_chains`` pool maintenance; returns new length.
+
+        Writes the surviving pool entries (``keep`` mask; ``None`` keeps
+        all) followed by the level's contracted (non-alpha) edges into
+        ``nxt_idx``/``nxt_vert``, relabeling every supervertex through
+        ``vmap``.  Order is deterministic: survivors in pool order, then
+        contracted edges in level order.  Emits one ``gather`` record of
+        the new pool length.
+        """
+        raise NotImplementedError
+
+    def chain_sort_keys(self, anchor, side, out, name: str | None = None):
+        """Chain-sort key build: ``out[i] = 2*anchor[i] + side[i]``, or
+        ``-1`` where ``anchor`` is negative (the root chain).  ``out`` may
+        be narrower than ``anchor``; the cast is unchecked (callers size
+        the key dtype so every valid key fits)."""
+        raise NotImplementedError
+
+
+class NumpyBackend(Backend):
+    """Reference backend: bulk vectorized NumPy kernels.
+
+    A pure extraction of the pre-backend code paths -- outputs and kernel
+    traces are bit-identical to them by construction.
+    """
+
+    name = "numpy"
+
+    # -- array constructors ------------------------------------------------
+    def asarray(self, a, dtype=None) -> np.ndarray:
+        return np.asarray(a, dtype=dtype)
+
+    def empty(self, n: int, dtype) -> np.ndarray:
+        return np.empty(n, dtype=dtype)
+
+    def zeros(self, n: int, dtype) -> np.ndarray:
+        return np.zeros(n, dtype=dtype)
+
+    def full(self, n: int, fill, dtype) -> np.ndarray:
+        return np.full(n, fill, dtype=dtype)
+
+    def arange(self, n: int, dtype) -> np.ndarray:
+        return np.arange(n, dtype=dtype)
+
+    # -- primitive vocabulary ----------------------------------------------
+    def map(self, fn, *arrays: np.ndarray, name: str | None = "map") -> np.ndarray:
+        out = fn(*arrays)
+        work = max((int(np.size(a)) for a in arrays), default=0)
+        self._emit(name, "map", work)
+        return out
+
+    def reduce_sum(self, a, name: str | None = "reduce_sum"):
+        self._emit(name, "reduce", a.size)
+        return a.sum()
+
+    def reduce_max(self, a, name: str | None = "reduce_max"):
+        self._emit(name, "reduce", a.size)
+        return a.max()
+
+    def reduce_min(self, a, name: str | None = "reduce_min"):
+        self._emit(name, "reduce", a.size)
+        return a.min()
+
+    def inclusive_scan(self, a, name: str | None = "scan") -> np.ndarray:
+        self._emit(name, "scan", a.size)
+        return np.cumsum(a)
+
+    def exclusive_scan(self, a, name: str | None = "scan", dtype=None) -> np.ndarray:
+        self._emit(name, "scan", a.size)
+        if dtype is None:
+            dtype = (np.result_type(a.dtype, np.int64)
+                     if np.issubdtype(a.dtype, np.integer) else a.dtype)
+        out = np.empty(a.size, dtype=dtype)
+        if a.size:
+            np.cumsum(a[:-1], out=out[1:])
+            out[0] = 0
+        return out
+
+    def sort(self, a, name: str | None = "sort") -> np.ndarray:
+        self._emit(name, "sort", a.size)
+        return np.sort(a, kind="stable")
+
+    def argsort(self, a, name: str | None = "argsort") -> np.ndarray:
+        self._emit(name, "sort", a.size)
+        return np.argsort(a, kind="stable")
+
+    def lexsort(self, keys, name: str | None = "lexsort") -> np.ndarray:
+        if not keys:
+            raise ValueError("lexsort requires at least one key")
+        self._emit(name, "sort", keys[0].size)
+        return np.lexsort(keys)
+
+    def sort_by_key(self, keys, values, name: str | None = "sort_by_key"):
+        order = np.argsort(keys, kind="stable")
+        self._emit(name, "sort", keys.size)
+        return keys[order], values[order]
+
+    def canonical_sort_order(
+        self, weights, ids, name: str | None = "edges.sort_desc"
+    ) -> np.ndarray:
+        # lexsort: last key is primary.  -w ascending == w descending; ties
+        # fall back to position because lexsort is stable across keys.
+        self._emit(name, "sort", weights.size)
+        return np.lexsort((ids, -weights))
+
+    def gather(self, a, idx, name: str | None = "gather") -> np.ndarray:
+        self._emit(name, "gather", int(np.size(idx)))
+        return a[idx]
+
+    def gather_into(
+        self, a, idx, out, mode: str = "raise", name: str | None = "gather"
+    ) -> np.ndarray:
+        self._emit(name, "gather", int(np.size(idx)))
+        np.take(a, idx, out=out, mode=mode)
+        return out
+
+    def scatter(self, target, idx, values, name: str | None = "scatter"):
+        self._emit(name, "scatter", int(np.size(idx)))
+        target[idx] = values
+        return target
+
+    def scatter_max_ordered(
+        self, target, idx, values, name: str | None = "scatter_max",
+        assume_ordered: bool = True,
+    ):
+        self._emit(name, "scatter", int(np.size(idx)))
+        if assume_ordered:
+            target[idx] = values
+        else:
+            np.maximum.at(target, idx, values)
+        return target
+
+    def scatter_max_pairs(self, out, u, v, idx, name: str | None = "scatter_max"):
+        m = int(np.size(u))
+        # Ordered-scatter trick: interleave the endpoint columns so writes
+        # occur in ascending index order; last-write-wins realizes the
+        # atomic-max (the NumPy analogue of one parallel_for + atomicMax).
+        # Scratch slots derive from the kernel name so distinct call sites
+        # never alias each other's live buffers (workspace contract).
+        slot = name or "scatter_max"
+        verts = self.take(slot + ".verts", 2 * m, u.dtype)
+        verts[0::2] = u
+        verts[1::2] = v
+        vals = self.take(slot + ".vals", 2 * m, idx.dtype)
+        vals[0::2] = idx
+        vals[1::2] = idx
+        out[verts] = vals
+        self._emit(name, "scatter", 2 * m)
+        return out
+
+    def scatter_min_at(self, target, idx, values, name: str | None = "scatter_min"):
+        self._emit(name, "scatter", int(np.size(idx)))
+        np.minimum.at(target, idx, values)
+        return target
+
+    def masked_fill(self, dst, mask, src, name: str | None = None) -> np.ndarray:
+        self._emit(name, "map", dst.size)
+        np.copyto(dst, src, where=mask)
+        return dst
+
+    def where(self, cond, a, b, name: str | None = None) -> np.ndarray:
+        self._emit(name, "map", int(np.size(cond)))
+        return np.where(cond, a, b)
+
+    def compact(self, a, mask, name: str | None = "compact") -> np.ndarray:
+        if name is not None:
+            emit(name + ".scan", "scan", mask.size)
+            emit(name + ".gather", "gather", int(mask.sum()))
+        return a[mask]
+
+    def compress_into(self, mask, a, out, name: str | None = None) -> np.ndarray:
+        self._emit(name, "gather", int(np.size(out)))
+        np.compress(mask, a, out=out)
+        return out
+
+    def segmented_first(self, sorted_keys, name: str | None = "segmented_first"):
+        self._emit(name, "map", sorted_keys.size)
+        if sorted_keys.size == 0:
+            return np.zeros(0, dtype=bool)
+        head = np.empty(sorted_keys.size, dtype=bool)
+        head[0] = True
+        np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=head[1:])
+        return head
+
+    def unique_labels(self, labels, name: str | None = "relabel"):
+        self._emit(name, "sort", labels.size)
+        uniq, inv = np.unique(labels, return_inverse=True)
+        if name is not None:
+            emit(name + ".scan", "scan", labels.size)
+        out_dtype = (labels.dtype if np.issubdtype(labels.dtype, np.integer)
+                     else np.int64)
+        return inv.astype(out_dtype, copy=False), int(uniq.size)
+
+    # -- fused hot-path kernels --------------------------------------------
+    def resolve_pointer_forest(self, pointer, name: str = "cc.jump") -> np.ndarray:
+        n = pointer.size
+        if n == 0:
+            return pointer
+        buf = self.take("cc.jump_buf", n, pointer.dtype)
+        while True:
+            np.take(pointer, pointer, out=buf)
+            emit(name, "jump", n)
+            if np.array_equal(buf, pointer):
+                return pointer
+            pointer, buf = buf, pointer
+
+    def expand_pool_partition(
+        self, pool_idx, pool_vert, keep, vmap,
+        level_idx, level_u, non_alpha, n_contracted,
+        nxt_idx, nxt_vert, name: str | None = "expand.pool_relabel",
+    ) -> int:
+        # ``tmp`` staging keeps every vmap gather reading a buffer it does
+        # not write.
+        tmp = self.take("expand.pool_tmp", nxt_idx.size, nxt_idx.dtype)
+        if keep is None:
+            k = int(pool_idx.size)
+            nxt_idx[:k] = pool_idx
+            tmp[:k] = pool_vert
+        else:
+            k = int(keep.sum())
+            np.compress(keep, pool_idx, out=nxt_idx[:k])
+            np.compress(keep, pool_vert, out=tmp[:k])
+        np.take(vmap, tmp[:k], out=nxt_vert[:k])
+
+        c = int(n_contracted)
+        np.compress(non_alpha, level_idx, out=nxt_idx[k : k + c])
+        np.compress(non_alpha, level_u, out=tmp[:c])
+        np.take(vmap, tmp[:c], out=nxt_vert[k : k + c])
+        self._emit(name, "gather", k + c)
+        return k + c
+
+    def chain_sort_keys(self, anchor, side, out, name: str | None = None):
+        self._emit(name, "map", int(np.size(anchor)))
+        np.multiply(anchor, 2, out=out, casting="unsafe")
+        out += side
+        out[anchor < 0] = -1
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Registry and active-backend plumbing.
+# ---------------------------------------------------------------------------
+
+_FACTORIES: dict[str, tuple[Callable[[], Backend], Callable[[], bool]]] = {}
+_INSTANCES: dict[str, Backend] = {}
+_STACK: list[Backend] = []
+_DEFAULT: Backend | None = None
+
+
+def register_backend(
+    name: str,
+    factory: Callable[[], Backend],
+    available: Callable[[], bool] = lambda: True,
+) -> None:
+    """Register a backend factory under ``name``.
+
+    ``available`` is a cheap environment probe (e.g. "is numba
+    importable"); the factory is only invoked for available backends.
+    Re-registering a name replaces the factory and drops any cached
+    instance.
+    """
+    _FACTORIES[name] = (factory, available)
+    _INSTANCES.pop(name, None)
+
+
+def registered_backends() -> tuple[str, ...]:
+    """Names of every registered backend, in registration order."""
+    return tuple(_FACTORIES)
+
+
+def backend_available(name: str) -> bool:
+    """Whether ``name`` is registered and can run in this environment."""
+    entry = _FACTORIES.get(name)
+    return entry is not None and bool(entry[1]())
+
+
+def available_backends() -> dict[str, bool]:
+    """Registry name -> availability, e.g. for ``python -m repro devices``."""
+    return {name: backend_available(name) for name in _FACTORIES}
+
+
+def _instantiate(name: str) -> Backend:
+    entry = _FACTORIES.get(name)
+    if entry is None:
+        raise ValueError(
+            f"unknown backend {name!r}; registered: {', '.join(_FACTORIES)}"
+        )
+    factory, available = entry
+    if not available():
+        raise BackendUnavailable(
+            f"backend {name!r} is registered but not available in this "
+            f"environment (missing optional dependency?)"
+        )
+    instance = _INSTANCES.get(name)
+    if instance is None:
+        instance = _INSTANCES[name] = factory()
+    return instance
+
+
+def get_backend() -> Backend:
+    """The active backend: innermost ``use_backend``, else the default."""
+    if _STACK:
+        return _STACK[-1]
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = _instantiate(os.environ.get("REPRO_BACKEND", "numpy"))
+    return _DEFAULT
+
+
+def set_default_backend(backend: str | Backend | None) -> Backend | None:
+    """Set the process-default backend (registry name or instance).
+
+    ``None`` resets to lazy resolution (``REPRO_BACKEND`` env var, else
+    ``numpy``) on the next :func:`get_backend` call.  Returns the previous
+    default -- an instance or ``None`` -- suitable for handing back to this
+    function to restore it without re-instantiating anything.
+    """
+    global _DEFAULT
+    previous = _DEFAULT
+    if backend is None or isinstance(backend, Backend):
+        _DEFAULT = backend
+    else:
+        _DEFAULT = _instantiate(backend)
+    return previous
+
+
+@contextmanager
+def use_backend(backend: str | Backend) -> Iterator[Backend]:
+    """Temporarily activate a backend (by registry name or instance)::
+
+        with use_backend("numba"):
+            pandora(u, v, w)
+    """
+    b = backend if isinstance(backend, Backend) else _instantiate(backend)
+    _STACK.append(b)
+    try:
+        yield b
+    finally:
+        _STACK.pop()
+
+
+# ---------------------------------------------------------------------------
+# Built-in registrations.  The numba module is imported lazily so that an
+# environment without numba never pays (or fails) its import.
+# ---------------------------------------------------------------------------
+
+register_backend("numpy", NumpyBackend)
+
+
+def _numba_importable() -> bool:
+    return importlib.util.find_spec("numba") is not None
+
+
+def _make_numba() -> Backend:
+    from .backend_numba import NumbaBackend
+
+    return NumbaBackend()
+
+
+def _make_numba_python() -> Backend:
+    from .backend_numba import NumbaBackend
+
+    return NumbaBackend(jit=False)
+
+
+register_backend("numba", _make_numba, available=_numba_importable)
+register_backend("numba-python", _make_numba_python)

@@ -1,0 +1,279 @@
+"""Numba-JIT backend: fused kernels for the scatter/jump-heavy inner loops.
+
+The NumPy backend pays one full array pass (and often a temporary) per
+logical step of the scatter-heavy kernels: pointer doubling materializes a
+gathered copy *and* an equality scan per round, the expansion pool
+partition is four ``compress``/``take`` passes, and the canonical edge sort
+is a two-key comparison lexsort over float64.  On a CPU those are exactly
+the places a JIT wins, mirroring how cuSLINK retargets the same kernel
+vocabulary: this backend fuses each of them into a single compiled loop.
+
+Overrides (everything else inherits the NumPy realization):
+
+* :meth:`NumbaBackend.resolve_pointer_forest` -- pointer doubling with the
+  convergence test fused into the jump pass (no temporary, no second scan);
+  drives ``components_of_forest`` in the contraction.
+* :meth:`NumbaBackend.scatter_max_ordered` / ``scatter_max_pairs`` -- the
+  maxIncident scatters as single loops, skipping the interleave staging
+  buffers entirely.
+* :meth:`NumbaBackend.expand_pool_partition` -- the ``assign_chains`` pool
+  compaction + relabel + append as one fused pass.
+* :meth:`NumbaBackend.canonical_sort_order` -- key narrowing for the
+  initial descending weight sort: the (float64 weight, id) lexsort becomes
+  one order-preserving u64 bit transform plus a single stable integer
+  argsort (NumPy dispatches stable integer sorts to radix), the ROADMAP's
+  named follow-up for the dominant sort phase.
+
+Every override emits the same kernel records as the NumPy backend (fusion
+is backend-internal; the trace records the logical schedule) and produces
+bit-identical arrays -- ``tests/test_backends.py`` enforces both.
+
+numba is an *optional* dependency: the ``numba`` registry entry reports
+unavailable when it cannot be imported.  ``NumbaBackend(jit=False)``
+(registered as ``numba-python``) runs the identical kernel definitions
+through the plain interpreter so the parity suite exercises them
+everywhere; it is a correctness tool, not a performance backend.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from functools import lru_cache
+
+import numpy as np
+
+from .backend import NumpyBackend
+from .machine import emit
+
+__all__ = ["NumbaBackend", "numba_available"]
+
+
+def numba_available() -> bool:
+    return importlib.util.find_spec("numba") is not None
+
+
+# ---------------------------------------------------------------------------
+# Kernel definitions.  Plain nopython-compatible functions: wrapped with
+# numba.njit when jitting, executed directly by the interpreter otherwise
+# (the ``numba-python`` parity backend).  Keep them free of Python-object
+# operations.
+# ---------------------------------------------------------------------------
+
+#: Sign bit / all-ones masks for the monotone float64 -> u64 key transform.
+_SIGN = np.uint64(0x8000000000000000)
+_FULL = np.uint64(0xFFFFFFFFFFFFFFFF)
+_ZERO = np.uint64(0)
+
+
+def _k_pointer_double(ptr, buf):
+    """Pointer doubling to the fixed point, in place; returns round count.
+
+    One round = one jump pass; the terminal round (no change) is counted,
+    matching the NumPy realization's emitted record sequence.
+    """
+    n = ptr.size
+    rounds = 0
+    while True:
+        rounds += 1
+        changed = False
+        for i in range(n):
+            g = ptr[ptr[i]]
+            if g != ptr[i]:
+                changed = True
+            buf[i] = g
+        if not changed:
+            return rounds
+        for i in range(n):
+            ptr[i] = buf[i]
+
+
+def _k_scatter_last(target, idx, values):
+    """Fancy-assignment semantics: last write wins at duplicate indices."""
+    for i in range(idx.size):
+        target[idx[i]] = values[i]
+
+
+def _k_scatter_max(target, idx, values):
+    """Atomic-max semantics, correct for any value order."""
+    for i in range(idx.size):
+        j = idx[i]
+        if values[i] > target[j]:
+            target[j] = values[i]
+
+
+def _k_scatter_max_pairs(out, u, v, idx):
+    """maxIncident: both endpoint writes per edge, in edge order."""
+    for i in range(u.size):
+        k = idx[i]
+        out[u[i]] = k
+        out[v[i]] = k
+
+
+def _k_pool_partition(
+    pool_idx, pool_vert, keep, use_keep, vmap,
+    level_idx, level_u, non_alpha, nxt_idx, nxt_vert,
+):
+    """Survivor compaction + vmap relabel + contracted-edge append, fused."""
+    k = 0
+    for i in range(pool_idx.size):
+        if use_keep and not keep[i]:
+            continue
+        nxt_idx[k] = pool_idx[i]
+        nxt_vert[k] = vmap[pool_vert[i]]
+        k += 1
+    for e in range(level_idx.size):
+        if non_alpha[e]:
+            nxt_idx[k] = level_idx[e]
+            nxt_vert[k] = vmap[level_u[e]]
+            k += 1
+    return k
+
+
+def _k_chain_keys(anchor, side, out):
+    """Chain-sort key build in one pass (root chain -> -1)."""
+    for i in range(anchor.size):
+        a = anchor[i]
+        if a < 0:
+            out[i] = -1
+        else:
+            out[i] = 2 * a + side[i]
+
+
+def _k_weight_keys(bits, out):
+    """Order-preserving float64-bits -> u64 key, *descending* weight order.
+
+    The classic radix-sort float transform: flip all bits of negatives,
+    set the sign bit of non-negatives -- that key is ascending in the
+    float order -- then complement for descending.  ``-0.0`` is normalized
+    to ``+0.0`` first so float-equal weights map to equal keys (ties must
+    fall through to the stable positional order exactly like the lexsort).
+    NaN-free input is a precondition (``as_edge_arrays`` rejects NaN).
+    """
+    for i in range(bits.size):
+        b = bits[i]
+        if b == _SIGN:  # -0.0 compares equal to +0.0: same key
+            b = _ZERO
+        if b & _SIGN:
+            m = b ^ _FULL
+        else:
+            m = b | _SIGN
+        out[i] = m ^ _FULL
+
+
+_PY_KERNELS = {
+    "pointer_double": _k_pointer_double,
+    "scatter_last": _k_scatter_last,
+    "scatter_max": _k_scatter_max,
+    "scatter_max_pairs": _k_scatter_max_pairs,
+    "pool_partition": _k_pool_partition,
+    "chain_keys": _k_chain_keys,
+    "weight_keys": _k_weight_keys,
+}
+
+
+@lru_cache(maxsize=1)
+def _jit_kernels() -> dict:
+    """Compile the kernel set (cached; one compilation per process)."""
+    import numba
+
+    return {
+        name: numba.njit(cache=True)(fn) for name, fn in _PY_KERNELS.items()
+    }
+
+
+_EMPTY_KEEP = np.zeros(0, dtype=bool)
+
+
+class NumbaBackend(NumpyBackend):
+    """JIT backend; ``jit=False`` runs the same kernels interpreted."""
+
+    name = "numba"
+
+    def __init__(self, jit: bool = True) -> None:
+        super().__init__()
+        if jit and not numba_available():
+            raise ImportError(
+                "NumbaBackend(jit=True) requires numba; install it or use "
+                "NumbaBackend(jit=False) / the 'numpy' backend"
+            )
+        self.jit = jit
+        if not jit:
+            self.name = "numba-python"
+        self._k = _jit_kernels() if jit else _PY_KERNELS
+
+    # -- fused overrides ---------------------------------------------------
+    def resolve_pointer_forest(self, pointer, name: str = "cc.jump") -> np.ndarray:
+        n = pointer.size
+        if n == 0:
+            return pointer
+        buf = self.take("cc.jump_buf", n, pointer.dtype)
+        rounds = int(self._k["pointer_double"](pointer, buf))
+        for _ in range(rounds):
+            emit(name, "jump", n)
+        return pointer
+
+    def scatter_max_ordered(
+        self, target, idx, values, name: str | None = "scatter_max",
+        assume_ordered: bool = True,
+    ):
+        self._emit(name, "scatter", int(np.size(idx)))
+        if assume_ordered:
+            self._k["scatter_last"](target, idx, values)
+        else:
+            self._k["scatter_max"](target, idx, values)
+        return target
+
+    def scatter_max_pairs(self, out, u, v, idx, name: str | None = "scatter_max"):
+        self._emit(name, "scatter", 2 * int(np.size(u)))
+        self._k["scatter_max_pairs"](out, u, v, idx)
+        return out
+
+    def expand_pool_partition(
+        self, pool_idx, pool_vert, keep, vmap,
+        level_idx, level_u, non_alpha, n_contracted,
+        nxt_idx, nxt_vert, name: str | None = "expand.pool_relabel",
+    ) -> int:
+        k = int(self._k["pool_partition"](
+            pool_idx, pool_vert,
+            keep if keep is not None else _EMPTY_KEEP,
+            keep is not None, vmap,
+            level_idx, level_u, non_alpha, nxt_idx, nxt_vert,
+        ))
+        self._emit(name, "gather", k)
+        return k
+
+    def chain_sort_keys(self, anchor, side, out, name: str | None = None):
+        self._emit(name, "map", int(np.size(anchor)))
+        self._k["chain_keys"](anchor, side, out)
+        return out
+
+    def canonical_sort_order(
+        self, weights, ids, name: str | None = "edges.sort_desc"
+    ) -> np.ndarray:
+        n = int(weights.size)
+        w = np.ascontiguousarray(weights, dtype=np.float64)
+        key = self.take("backend.sort_key", n, np.uint64)
+        self._k["weight_keys"](w.view(np.uint64), key)
+        self._emit(name, "sort", n)
+        # Stable integer argsort: NumPy dispatches to radix for u64, the
+        # key-narrowing win over the two-key float lexsort.
+        return np.argsort(key, kind="stable")
+
+    def warmup(self) -> None:
+        """Compile (or touch) every kernel on tiny inputs.
+
+        Benchmarks call this so first-use JIT compilation never lands
+        inside a timed region.
+        """
+        i8 = np.zeros(1, dtype=np.int64)
+        self.resolve_pointer_forest(i8.copy())
+        self.scatter_max_ordered(i8.copy(), i8, i8)
+        self.scatter_max_ordered(i8.copy(), i8, i8, assume_ordered=False)
+        self.scatter_max_pairs(i8.copy(), i8, i8, i8)
+        self.expand_pool_partition(
+            i8[:0], i8[:0], None, i8,
+            i8, i8, np.zeros(1, dtype=bool), 0,
+            self.take("warmup.a", 1, np.int64), self.take("warmup.b", 1, np.int64),
+        )
+        self.chain_sort_keys(i8, np.zeros(1, dtype=np.int8), i8.copy())
+        self.canonical_sort_order(np.zeros(1), i8)

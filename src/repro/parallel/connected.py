@@ -27,8 +27,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from .backend import get_backend
 from .machine import debug_checks, emit
-from .workspace import index_dtype, workspace
+from .workspace import index_dtype
 
 __all__ = [
     "connected_components",
@@ -92,8 +93,7 @@ def connected_components(n: int, edges: np.ndarray) -> np.ndarray:
             break
         lo = np.minimum(pu[active], pv[active])
         hi = np.maximum(pu[active], pv[active])
-        np.minimum.at(parent, hi, lo)
-        emit("cc.hook", "scatter", int(hi.size))
+        get_backend().scatter_min_at(parent, hi, lo, name="cc.hook")
         # Shortcut: pointer jumping to full compression of the active set.
         while True:
             grand = parent[parent[touched]]
@@ -111,21 +111,13 @@ def resolve_pointer_forest(pointer: np.ndarray, name: str = "cc.jump") -> np.nda
     themselves) and the pointer graph must be acyclic apart from those
     self-loops.  Pointer doubling converges in ceil(log2(depth)) rounds.
 
-    Returns the resolved array -- which may be ``pointer`` itself or a
-    workspace buffer of the same size; callers must treat it as scratch
-    with the usual workspace lifetime rules.
+    Dispatches to the active backend's fused jump kernel (the numba
+    backend folds the convergence test into the jump pass).  Returns the
+    resolved array -- which may be ``pointer`` itself or a workspace buffer
+    of the same size; callers must treat it as scratch with the usual
+    workspace lifetime rules.
     """
-    n = pointer.size
-    if n == 0:
-        return pointer
-    ws = workspace()
-    buf = ws.take("cc.jump_buf", n, pointer.dtype)
-    while True:
-        np.take(pointer, pointer, out=buf)
-        emit(name, "jump", n)
-        if np.array_equal(buf, pointer):
-            return pointer
-        pointer, buf = buf, pointer
+    return get_backend().resolve_pointer_forest(pointer, name=name)
 
 
 def compress_labels(labels: np.ndarray) -> tuple[np.ndarray, int]:

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .backend import get_backend
 from .machine import emit
 
 __all__ = ["list_rank", "list_order"]
@@ -35,10 +36,11 @@ def list_rank(successor: np.ndarray) -> np.ndarray:
     -------
     ``(n,)`` ranks; the tail has rank 0.
     """
-    nxt = np.asarray(successor, dtype=np.int64).copy()
+    backend = get_backend()
+    nxt = backend.asarray(successor, dtype=np.int64).copy()
     n = nxt.size
     if n == 0:
-        return np.zeros(0, dtype=np.int64)
+        return backend.zeros(0, np.int64)
     if nxt.max(initial=-1) >= n:
         raise ValueError("successor index out of range")
     rank = (nxt >= 0).astype(np.int64)
@@ -68,12 +70,15 @@ def list_order(successor: np.ndarray, head: int) -> np.ndarray:
     ``head`` is validated against the ranking (it must be the unique
     maximum-rank element).
     """
+    backend = get_backend()
     rank = list_rank(successor)
     n = rank.size
-    order = np.empty(n, dtype=np.int64)
+    order = backend.empty(n, np.int64)
     # rank decreases along the list: head has the max
-    emit("listrank.scatter_order", "scatter", n)
-    order[rank.max() - rank] = np.arange(n)
+    backend.scatter(
+        order, rank.max() - rank, backend.arange(n, np.int64),
+        name="listrank.scatter_order",
+    )
     if n and order[0] != head:
         raise ValueError(
             f"element {head} is not the list head (head is {int(order[0])})"

@@ -26,6 +26,7 @@ pointer-jumping kernels only ~3-6x, maps ~10-15x.
 
 from __future__ import annotations
 
+import math
 import os
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -151,8 +152,6 @@ class DeviceSpec:
 
     def kernel_time(self, record: KernelRecord) -> float:
         """Modeled wall time for a single kernel on this device."""
-        import math
-
         work = float(record.work)
         if record.category == "sort" and work > 1:
             work *= math.log2(work)

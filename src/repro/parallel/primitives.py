@@ -2,26 +2,29 @@
 
 The PANDORA paper expresses every kernel as one of a handful of parallel
 constructs -- parallel loops (maps), reductions, prefix sums (scans), sorts,
-gathers and scatters.  This module provides exactly those constructs as bulk
-vectorized NumPy operations.  Each call:
+gathers and scatters.  This module provides exactly those constructs as thin
+dispatchers onto the active :class:`~repro.parallel.backend.Backend`
+(see :func:`~repro.parallel.backend.get_backend`).  Each call:
 
-* performs the operation as a single C-level pass over the arrays (the Python
-  analogue of one kernel launch, with no per-element interpreter overhead);
+* performs the operation as a single pass over the arrays on whichever
+  execution backend is active (bulk NumPy kernels by default, JIT-fused
+  loops on the numba backend);
 * emits one :class:`~repro.parallel.machine.KernelRecord` into the active
   cost model so the run can be re-priced on any
-  :class:`~repro.parallel.machine.DeviceSpec`.
+  :class:`~repro.parallel.machine.DeviceSpec` -- the record sequence is
+  backend-invariant by contract.
 
 Algorithms in :mod:`repro.core` and :mod:`repro.mst` are written exclusively
-against this layer, which is what makes the claim "every step is a map, scan
-or sort" checkable: the recorded kernel trace *is* the algorithm's parallel
-schedule.
+against this layer (or the backend vocabulary directly, for fused hot-path
+kernels), which is what makes the claim "every step is a map, scan or sort"
+checkable: the recorded kernel trace *is* the algorithm's parallel schedule.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from .machine import emit
+from .backend import get_backend
 
 __all__ = [
     "parallel_map",
@@ -47,34 +50,27 @@ __all__ = [
 def parallel_map(fn, *arrays: np.ndarray, name: str = "map") -> np.ndarray:
     """Apply a vectorized elementwise function: ``parallel_for`` analogue.
 
-    ``fn`` must itself be a bulk NumPy expression (e.g. ``lambda a, b:
+    ``fn`` must itself be a bulk array expression (e.g. ``lambda a, b:
     a + b``); this wrapper exists to account the launch, not to loop.
     """
-    out = fn(*arrays)
-    work = max((int(np.size(a)) for a in arrays), default=0)
-    emit(name, "map", work)
-    return out
+    return get_backend().map(fn, *arrays, name=name)
 
 
 def reduce_sum(a: np.ndarray, name: str = "reduce_sum"):
-    emit(name, "reduce", a.size)
-    return a.sum()
+    return get_backend().reduce_sum(a, name=name)
 
 
 def reduce_max(a: np.ndarray, name: str = "reduce_max"):
-    emit(name, "reduce", a.size)
-    return a.max()
+    return get_backend().reduce_max(a, name=name)
 
 
 def reduce_min(a: np.ndarray, name: str = "reduce_min"):
-    emit(name, "reduce", a.size)
-    return a.min()
+    return get_backend().reduce_min(a, name=name)
 
 
 def inclusive_scan(a: np.ndarray, name: str = "scan") -> np.ndarray:
     """Inclusive prefix sum (Kokkos ``parallel_scan``)."""
-    emit(name, "scan", a.size)
-    return np.cumsum(a)
+    return get_backend().inclusive_scan(a, name=name)
 
 
 def exclusive_scan(
@@ -86,56 +82,38 @@ def exclusive_scan(
     arbitrary callers); hot-path callers that know their sums fit pass an
     explicit narrower ``dtype`` to halve the traffic.
     """
-    emit(name, "scan", a.size)
-    if dtype is None:
-        dtype = (np.result_type(a.dtype, np.int64)
-                 if np.issubdtype(a.dtype, np.integer) else a.dtype)
-    out = np.empty(a.size, dtype=dtype)
-    if a.size:
-        np.cumsum(a[:-1], out=out[1:])
-        out[0] = 0
-    return out
+    return get_backend().exclusive_scan(a, name=name, dtype=dtype)
 
 
 def sort(a: np.ndarray, name: str = "sort") -> np.ndarray:
-    emit(name, "sort", a.size)
-    return np.sort(a, kind="stable")
+    return get_backend().sort(a, name=name)
 
 
 def argsort(a: np.ndarray, name: str = "argsort") -> np.ndarray:
-    emit(name, "sort", a.size)
-    return np.argsort(a, kind="stable")
+    return get_backend().argsort(a, name=name)
 
 
 def lexsort(keys: tuple[np.ndarray, ...], name: str = "lexsort") -> np.ndarray:
     """Stable multi-key sort; last key is the primary key (NumPy order)."""
-    if not keys:
-        raise ValueError("lexsort requires at least one key")
-    emit(name, "sort", keys[0].size)
-    return np.lexsort(keys)
+    return get_backend().lexsort(keys, name=name)
 
 
 def sort_by_key(
     keys: np.ndarray, values: np.ndarray, name: str = "sort_by_key"
 ) -> tuple[np.ndarray, np.ndarray]:
     """Key-value sort, stable in the values for equal keys."""
-    order = np.argsort(keys, kind="stable")
-    emit(name, "sort", keys.size)
-    return keys[order], values[order]
+    return get_backend().sort_by_key(keys, values, name=name)
 
 
 def gather(a: np.ndarray, idx: np.ndarray, name: str = "gather") -> np.ndarray:
-    emit(name, "gather", int(np.size(idx)))
-    return a[idx]
+    return get_backend().gather(a, idx, name=name)
 
 
 def scatter(
     target: np.ndarray, idx: np.ndarray, values, name: str = "scatter"
 ) -> np.ndarray:
     """Indexed write ``target[idx] = values`` (duplicate behaviour unspecified)."""
-    emit(name, "scatter", int(np.size(idx)))
-    target[idx] = values
-    return target
+    return get_backend().scatter(target, idx, values, name=name)
 
 
 def scatter_max_ordered(
@@ -145,53 +123,40 @@ def scatter_max_ordered(
     """``target[i] = max(target[i], max of values scattered to i)``.
 
     With ``assume_ordered=True`` (the default), ``values`` must be sorted
-    ascending wherever indices collide; then a plain fancy assignment
-    (last-write-wins for duplicate indices in NumPy) realizes an atomic-max.
-    This is how ``maxIncident`` is computed: edges are stored in
-    descending-weight order so their indices 0..m-1 are ascending, making
-    the lightest (largest-index) incident edge the last writer.
+    ascending wherever indices collide; then a last-write-wins indexed
+    store realizes an atomic-max.  This is how ``maxIncident`` is computed:
+    edges are stored in descending-weight order so their indices 0..m-1 are
+    ascending, making the lightest (largest-index) incident edge the last
+    writer.
 
     Pass ``assume_ordered=False`` when the caller cannot guarantee the
-    precondition: the explicit atomic-max fallback (``np.maximum.at``, the
-    GPU ``atomicMax`` analogue) is used instead, correct for any value
-    order at a higher per-element cost.
+    precondition: the explicit atomic-max fallback (the GPU ``atomicMax``
+    analogue) is used instead, correct for any value order at a higher
+    per-element cost.  Both semantics are part of the backend contract.
     """
-    emit(name, "scatter", int(np.size(idx)))
-    if assume_ordered:
-        target[idx] = values
-    else:
-        np.maximum.at(target, idx, values)
-    return target
+    return get_backend().scatter_max_ordered(
+        target, idx, values, name=name, assume_ordered=assume_ordered
+    )
 
 
 def scatter_min_at(
     target: np.ndarray, idx: np.ndarray, values: np.ndarray,
     name: str = "scatter_min",
 ) -> np.ndarray:
-    """Atomic-min scatter (``np.minimum.at``), the GPU atomicMin analogue."""
-    emit(name, "scatter", int(np.size(idx)))
-    np.minimum.at(target, idx, values)
-    return target
+    """Atomic-min scatter, the GPU atomicMin analogue."""
+    return get_backend().scatter_min_at(target, idx, values, name=name)
 
 
 def compact(a: np.ndarray, mask: np.ndarray, name: str = "compact") -> np.ndarray:
     """Stream compaction (filter): scan + gather on GPU, one pass here."""
-    emit(name + ".scan", "scan", mask.size)
-    emit(name + ".gather", "gather", int(mask.sum()))
-    return a[mask]
+    return get_backend().compact(a, mask, name=name)
 
 
 def segmented_first(
     sorted_keys: np.ndarray, name: str = "segmented_first"
 ) -> np.ndarray:
     """Boolean mask of the first element of each run in a sorted key array."""
-    emit(name, "map", sorted_keys.size)
-    if sorted_keys.size == 0:
-        return np.zeros(0, dtype=bool)
-    head = np.empty(sorted_keys.size, dtype=bool)
-    head[0] = True
-    np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=head[1:])
-    return head
+    return get_backend().segmented_first(sorted_keys, name=name)
 
 
 def unique_labels(labels: np.ndarray, name: str = "relabel") -> tuple[np.ndarray, int]:
@@ -200,8 +165,4 @@ def unique_labels(labels: np.ndarray, name: str = "relabel") -> tuple[np.ndarray
     Implemented as sort + segmented head flags + scan, the standard GPU
     relabeling kernel sequence.
     """
-    emit(name, "sort", labels.size)
-    uniq, inv = np.unique(labels, return_inverse=True)
-    emit(name + ".scan", "scan", labels.size)
-    out_dtype = labels.dtype if np.issubdtype(labels.dtype, np.integer) else np.int64
-    return inv.astype(out_dtype, copy=False), int(uniq.size)
+    return get_backend().unique_labels(labels, name=name)

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .backend import get_backend
 from .machine import emit
 
 __all__ = ["UnionFind", "ArrayUnionFind"]
@@ -110,8 +111,8 @@ class ArrayUnionFind:
             raise ValueError("u and v must have the same shape")
         if u.size == 0:
             return
+        parent = self.parent  # flatten() compresses it in place
         while True:
-            parent = self.parent  # flatten() rebinds it; re-read each round
             pu = parent[u]
             pv = parent[v]
             emit("uf.gather_roots", "gather", 2 * u.size)
@@ -120,20 +121,16 @@ class ArrayUnionFind:
                 break
             lo = np.minimum(pu[active], pv[active])
             hi = np.maximum(pu[active], pv[active])
-            np.minimum.at(parent, hi, lo)
-            emit("uf.hook", "scatter", int(hi.size))
+            get_backend().scatter_min_at(parent, hi, lo, name="uf.hook")
             self.flatten()
 
     def flatten(self) -> None:
-        """Pointer-jump every element to its root."""
-        parent = self.parent
-        while True:
-            grand = parent[parent]
-            emit("uf.jump", "jump", parent.size)
-            if np.array_equal(grand, parent):
-                break
-            parent = grand
-        self.parent = parent
+        """Pointer-jump every element to its root (backend jump kernel)."""
+        resolved = get_backend().resolve_pointer_forest(self.parent, name="uf.jump")
+        if resolved is not self.parent:
+            # The backend may hand back its ping-pong scratch; ``parent``
+            # outlives this call, so copy out of the workspace buffer.
+            self.parent[:] = resolved
 
     def find_all(self) -> np.ndarray:
         """Root of every element (array of length n); flattens first."""

@@ -192,25 +192,33 @@ class Workspace:
         }
 
 
-_DEFAULT_WORKSPACE = Workspace()
-
-
 def workspace() -> Workspace:
-    """The process-wide default workspace used by the hot-path kernels."""
-    return _DEFAULT_WORKSPACE
+    """The scratch pool of the *active backend* (see ``repro.parallel.backend``).
+
+    Each backend instance owns its buffers, so a device backend can hand
+    out device arrays through the same interface; hot-path kernels keep
+    calling this accessor and never notice which pool is behind it.
+    """
+    from .backend import get_backend
+
+    return get_backend().workspace
 
 
 @contextmanager
 def scoped_workspace() -> Iterator[Workspace]:
-    """Swap in a fresh default workspace for the duration of the block.
+    """Swap a fresh workspace into the active backend for the block.
 
     Lets tests assert reuse behaviour without interference from buffers
-    other code already warmed up.
+    other code already warmed up.  The swap is pinned to the backend that
+    is active at entry; switching backends inside the block sees that
+    backend's own (unswapped) pool.
     """
-    global _DEFAULT_WORKSPACE
-    previous = _DEFAULT_WORKSPACE
-    _DEFAULT_WORKSPACE = Workspace()
+    from .backend import get_backend
+
+    backend = get_backend()
+    previous = backend.workspace
+    backend.workspace = Workspace()
     try:
-        yield _DEFAULT_WORKSPACE
+        yield backend.workspace
     finally:
-        _DEFAULT_WORKSPACE = previous
+        backend.workspace = previous

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..parallel import lexsort
+from ..parallel.backend import get_backend
 from ..parallel.workspace import index_dtype
 
 __all__ = ["SortedEdgeList", "sort_edges_descending", "as_edge_arrays"]
@@ -102,13 +102,16 @@ def sort_edges_descending(u, v, w, n_vertices: int | None = None) -> SortedEdgeL
     stays int64.
     """
     u, v, w = as_edge_arrays(u, v, w)
+    backend = get_backend()
     if n_vertices is None:
         n_vertices = int(max(u.max(initial=-1), v.max(initial=-1)) + 1)
     dt = index_dtype(u.size + n_vertices)
-    ids = np.arange(u.size, dtype=dt)
-    # lexsort: last key is primary.  -w ascending == w descending; ties fall
-    # back to input id ascending because lexsort is stable across keys.
-    order = lexsort((ids, -w), name="edges.sort_desc")
+    ids = backend.arange(u.size, dt)
+    # Canonical order through the backend's sort kernel: weight descending,
+    # ties by input id ascending.  The NumPy backend realizes it as a
+    # two-key lexsort; the numba backend narrows to one radix-sortable
+    # u64 key (same emitted record either way).
+    order = backend.canonical_sort_order(w, ids, name="edges.sort_desc")
     return SortedEdgeList(
         u=u[order].astype(dt, copy=False),
         v=v[order].astype(dt, copy=False),

@@ -1,0 +1,31 @@
+"""Shared backend parameterization for the property/parity suites.
+
+Kept out of ``conftest.py`` because ``import conftest`` is ambiguous when
+the benchmarks directory (which has its own conftest) is collected in the
+same pytest run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def backend_params() -> list:
+    """Pytest params covering every registered backend.
+
+    Unavailable backends are marked skip (the numba entry skips gracefully
+    in numpy-only environments); ``numba-python`` always runs, so the
+    fused-kernel definitions are parity-tested even without numba.
+    """
+    from repro.parallel import available_backends
+
+    return [
+        pytest.param(
+            name,
+            id=name,
+            marks=[] if ok else pytest.mark.skip(
+                reason=f"backend {name!r} unavailable (missing dependency)"
+            ),
+        )
+        for name, ok in available_backends().items()
+    ]

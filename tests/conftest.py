@@ -11,6 +11,11 @@ def rng() -> np.random.Generator:
     return np.random.default_rng(12345)
 
 
+# Backend parameterization lives in ``backend_fixtures.py`` (not here:
+# ``import conftest`` is ambiguous when the benchmarks suite -- which has
+# its own conftest -- is collected in the same run).
+
+
 def random_tree(rng: np.random.Generator, n_vertices: int, skew: float = 0.0):
     """Random weighted spanning tree (re-exported convenience)."""
     from repro.structures.tree import random_spanning_tree

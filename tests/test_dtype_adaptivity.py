@@ -12,14 +12,24 @@ single-level ablation.
 from __future__ import annotations
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from backend_fixtures import backend_params
 from repro import dendrogram_bottomup, dendrogram_single_level, pandora
 from repro.core.contraction import contract_multilevel
-from repro.parallel import hotpath
+from repro.parallel import hotpath, use_backend
 from repro.structures.edgelist import sort_edges_descending
 from repro.structures.tree import random_spanning_tree
+
+
+@pytest.fixture(scope="module", params=backend_params(), autouse=True)
+def _active_backend(request):
+    """Run the dtype property suite once per registered backend: the
+    int32/int64 bit-identity guarantee is part of the backend contract."""
+    with use_backend(request.param):
+        yield request.param
 
 
 @st.composite

@@ -1,10 +1,18 @@
-"""Unit tests for the data-parallel primitive layer."""
+"""Unit tests for the data-parallel primitive layer.
+
+The whole module is parameterized over every registered execution backend
+(module-scoped autouse fixture): the primitive semantics -- including the
+ordered-scatter last-write-wins trick and the atomic-max fallback -- are
+part of the backend contract, so each backend must pass identically.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
 
+from backend_fixtures import backend_params
+from repro.parallel import use_backend
 from repro.parallel import (
     CostModel,
     compact,
@@ -25,6 +33,13 @@ from repro.parallel import (
     tracking,
     unique_labels,
 )
+
+
+@pytest.fixture(scope="module", params=backend_params(), autouse=True)
+def _active_backend(request):
+    """Run this module's suite once per registered backend."""
+    with use_backend(request.param):
+        yield request.param
 
 
 class TestScans:
