@@ -10,7 +10,9 @@ Commands
 ``datasets``   list the Table-2 dataset registry.
 ``devices``    show the calibrated device models, price a synthetic trace,
                and list the registered execution backends with their
-               availability in this environment.
+               availability in this environment; ``--explain-sort`` adds
+               the sort-engine strategy each pipeline sort site selects
+               at ``--n`` (see ``repro.parallel.sortlib``).
 
 Global options
 --------------
@@ -142,6 +144,21 @@ def cmd_devices(args: argparse.Namespace) -> int:
         ["backend", "available", "active"],
         backend_rows, title="Registered execution backends",
     ))
+
+    if args.explain_sort:
+        from .parallel.sortlib import explain_plans
+
+        sort_rows = [
+            [row["site"], row["keys"], row["strategy"]]
+            for row in explain_plans(n)
+        ]
+        print(render_table(
+            ["sort site", "keys", f"strategy at n={n:,}"],
+            sort_rows,
+            title="Sort-engine strategy selection (sortlib; worst-case "
+                  "plans, the runtime varying-bit mask can only drop "
+                  "passes)",
+        ))
     return 0
 
 
@@ -182,6 +199,9 @@ def main(argv: list[str] | None = None) -> int:
 
     p = sub.add_parser("devices", help="show calibrated device models")
     p.add_argument("--n", type=int, default=1_000_000)
+    p.add_argument("--explain-sort", action="store_true",
+                   help="report which sort strategy each pipeline sort "
+                        "site selects at --n (sortlib policy)")
     p.set_defaults(fn=cmd_devices)
 
     args = parser.parse_args(argv)

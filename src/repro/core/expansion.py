@@ -34,7 +34,7 @@ import numpy as np
 
 from ..parallel.backend import get_backend
 from ..parallel.machine import emit
-from ..parallel.primitives import lexsort, segmented_first
+from ..parallel.primitives import argsort_bounded, lexsort, segmented_first, sort
 from ..parallel.workspace import hotpath_config, index_dtype
 from .contraction import ContractionLevel
 
@@ -220,23 +220,32 @@ def stitch_chains(
     key_dtype = index_dtype(2 * n_edges + 2)
     key = backend.empty(n_edges, key_dtype)
     backend.chain_sort_keys(assignment.anchor, assignment.side, key, name=None)
-    edge_ids = backend.arange(n_edges, key_dtype)
-    order = lexsort((edge_ids, key), name="stitch.chain_sort")
+    # Chain keys are bounded by 2 * n_edges + 1 and the positional
+    # tie-break comes from sort stability, so the old full-array
+    # lexsort((edge_ids, key)) collapses to one bounded single-key pass
+    # (an O(n + k) counting/radix sort on the sortlib engine).
+    order = argsort_bounded(
+        key, -1, 2 * n_edges + 1, name="stitch.chain_sort"
+    )
     skey = key[order]
     heads = segmented_first(skey, name="stitch.heads")
 
     # Parent of every non-head chain member is its predecessor in the sorted
-    # order (ascending index within a chain = heavier first).
+    # order (ascending index within a chain = heavier first).  Linking every
+    # position and letting the head scatter below overwrite the chain
+    # boundaries is cheaper than masking: one dense scatter replaces the
+    # mask inversion and two boolean compaction gathers.
     if n_edges > 1:
-        backend.scatter(
-            parent, order[1:][~heads[1:]], order[:-1][~heads[1:]], name=None
-        )
+        backend.scatter(parent, order[1:], order[:-1], name=None)
     emit("stitch.link", "scatter", n_edges)
 
-    # Chain heads attach to their anchors; the root chain head (key -1) is
-    # the global root and keeps parent -1.
-    head_nodes = order[heads]
-    head_keys = skey[heads]
+    # Chain heads attach to their anchors (overwriting the cross-chain
+    # links written above); the root chain head (key -1) is the global root
+    # and keeps parent -1.  Materializing head positions once is ~4x
+    # cheaper than two boolean-mask gathers re-scanning the full mask.
+    head_idx = np.nonzero(heads)[0]
+    head_nodes = order[head_idx]
+    head_keys = skey[head_idx]
     backend.scatter(
         parent, head_nodes,
         backend.where(head_keys >= 0, head_keys >> 1, -1, name=None),
@@ -361,7 +370,7 @@ def expand_single_level(
     # ---- root chain ----------------------------------------------------------
     # Unresolved edges are ancestors of the contracted dendrogram's root:
     # sort them into the top lineage and splice the contracted root below.
-    root_edges = np.sort(e_idx[root_mask])
+    root_edges = sort(e_idx[root_mask], name="expand1.root_sort")
     if root_edges.size:
         contracted_root = int(t1.idx[np.nonzero(alpha_edge_parent < 0)[0][0]])
         parent[root_edges[0]] = -1

@@ -58,6 +58,7 @@ from .workspace import (
 )
 from .primitives import (
     argsort,
+    argsort_bounded,
     compact,
     exclusive_scan,
     gather,
@@ -74,6 +75,16 @@ from .primitives import (
     sort,
     sort_by_key,
     unique_labels,
+)
+from .sortlib import (
+    RADIX_MIN_N,
+    SortPlan,
+    encode_weights_descending,
+    explain_plans,
+    plan_bounded,
+    plan_unsigned,
+    stable_argsort_bounded,
+    stable_argsort_unsigned,
 )
 from .unionfind import ArrayUnionFind, UnionFind
 
@@ -110,6 +121,7 @@ __all__ = [
     "exclusive_scan",
     "sort",
     "argsort",
+    "argsort_bounded",
     "lexsort",
     "sort_by_key",
     "gather",
@@ -132,6 +144,15 @@ __all__ = [
     "debug_checks",
     "set_debug_checks",
     "debug_checks_set",
+    # sort engine
+    "RADIX_MIN_N",
+    "SortPlan",
+    "encode_weights_descending",
+    "stable_argsort_unsigned",
+    "stable_argsort_bounded",
+    "plan_unsigned",
+    "plan_bounded",
+    "explain_plans",
     # workspace / hot path
     "Workspace",
     "workspace",

@@ -12,15 +12,18 @@ Backends
 --------
 ``numpy``
     :class:`NumpyBackend`, the reference realization: every kernel is a bulk
-    vectorized NumPy operation, exactly the code paths of the pre-backend
-    reproduction (bit-identical output, identical kernel traces).
+    vectorized NumPy operation, producing bit-identical output and
+    identical kernel traces to the pre-backend reproduction.  Its sort
+    vocabulary routes through the shared :mod:`repro.parallel.sortlib`
+    engine (key narrowing + LSD radix) unless the ``radix_sort`` hot-path
+    flag pins the comparison-sort reference paths.
 ``numba``
     :class:`~repro.parallel.backend_numba.NumbaBackend`, an optional-
     dependency JIT backend that fuses the scatter/jump-heavy inner loops
     (pointer doubling, ordered scatter-max, the expansion pool partition)
-    and narrows the canonical descending-weight sort to a single radix-
-    sortable u64 key.  Registered always; *available* only when numba is
-    importable.
+    and JIT-builds the canonical sort's narrowed u64 key before handing it
+    to the same ``sortlib`` radix engine.  Registered always; *available*
+    only when numba is importable.
 ``numba-python``
     The same fused-kernel definitions executed by the plain interpreter
     (no JIT).  Slow, but always available: the backend-parity test suite
@@ -62,8 +65,9 @@ from typing import Callable, Iterator
 
 import numpy as np
 
+from . import sortlib
 from .machine import KernelCategory, emit
-from .workspace import Workspace
+from .workspace import Workspace, hotpath_config
 
 __all__ = [
     "Backend",
@@ -166,8 +170,26 @@ class Backend:
         ``ids`` must be the identity permutation in the caller's index
         dtype; it participates only as the tie-breaker, which lets a
         backend replace the two-key lexsort with a narrowed single-key
-        sort (same record emitted either way).  ``weights`` must be
-        NaN-free (``as_edge_arrays`` guarantees this).
+        sort (same record emitted either way).  NaN weights are rejected
+        by ``as_edge_arrays`` only while debug checks are on; a backend
+        realization must therefore follow the sortlib special-value
+        policy (every NaN keys last, after ``-inf``, mutually tied) so
+        orders stay bit-identical across backends either way.
+        """
+        raise NotImplementedError
+
+    def argsort_bounded(
+        self, keys, min_key: int, max_key: int,
+        name: str | None = "argsort",
+    ) -> np.ndarray:
+        """Stable ascending argsort of integer keys provably in
+        ``[min_key, max_key]``.
+
+        Bit-identical to ``np.argsort(keys, kind="stable")``; the bound is
+        a *narrowing hint* that lets a backend run a counting/radix sort in
+        O(n + k) instead of a comparison sort (the chain-stitch sort's keys
+        are bounded by ``2 * n_edges + 1``).  One ``sort`` record of
+        ``keys.size`` either way.
         """
         raise NotImplementedError
 
@@ -336,10 +358,31 @@ class NumpyBackend(Backend):
     def canonical_sort_order(
         self, weights, ids, name: str | None = "edges.sort_desc"
     ) -> np.ndarray:
-        # lexsort: last key is primary.  -w ascending == w descending; ties
-        # fall back to position because lexsort is stable across keys.
         self._emit(name, "sort", weights.size)
-        return np.lexsort((ids, -weights))
+        if not hotpath_config().radix_sort:
+            # Reference realization -- lexsort: last key is primary.  -w
+            # ascending == w descending; ties fall back to position because
+            # lexsort is stable across keys.
+            return np.lexsort((ids, -weights))
+        # Key narrowing (sortlib): one monotone u64 key replaces the two-key
+        # float lexsort, then the mask-narrowed LSD radix argsorts it.  All
+        # of it is realization detail inside the single emitted sort record.
+        key = sortlib.encode_weights_descending(
+            weights, out=self.take("sortlib.wkey", weights.size, np.uint64),
+            workspace=self.workspace,
+        )
+        return sortlib.stable_argsort_unsigned(key, workspace=self.workspace)
+
+    def argsort_bounded(
+        self, keys, min_key: int, max_key: int,
+        name: str | None = "argsort",
+    ) -> np.ndarray:
+        self._emit(name, "sort", keys.size)
+        if not hotpath_config().radix_sort:
+            return np.argsort(keys, kind="stable")
+        return sortlib.stable_argsort_bounded(
+            keys, min_key, max_key, workspace=self.workspace
+        )
 
     def gather(self, a, idx, name: str | None = "gather") -> np.ndarray:
         self._emit(name, "gather", int(np.size(idx)))

@@ -18,11 +18,11 @@ Overrides (everything else inherits the NumPy realization):
   buffers entirely.
 * :meth:`NumbaBackend.expand_pool_partition` -- the ``assign_chains`` pool
   compaction + relabel + append as one fused pass.
-* :meth:`NumbaBackend.canonical_sort_order` -- key narrowing for the
-  initial descending weight sort: the (float64 weight, id) lexsort becomes
-  one order-preserving u64 bit transform plus a single stable integer
-  argsort (NumPy dispatches stable integer sorts to radix), the ROADMAP's
-  named follow-up for the dominant sort phase.
+* :meth:`NumbaBackend.canonical_sort_order` -- the canonical descending
+  weight sort's u64 key narrowing as one fused JIT pass (the kernel-level
+  twin of ``sortlib.encode_weights_descending``, identical special-value
+  policy), handed to the shared :mod:`repro.parallel.sortlib` LSD-radix
+  engine that every backend's sort vocabulary routes through.
 
 Every override emits the same kernel records as the NumPy backend (fusion
 is backend-internal; the trace records the logical schedule) and produces
@@ -42,8 +42,10 @@ from functools import lru_cache
 
 import numpy as np
 
+from . import sortlib
 from .backend import NumpyBackend
 from .machine import emit
+from .workspace import hotpath_config
 
 __all__ = ["NumbaBackend", "numba_available"]
 
@@ -59,10 +61,13 @@ def numba_available() -> bool:
 # operations.
 # ---------------------------------------------------------------------------
 
-#: Sign bit / all-ones masks for the monotone float64 -> u64 key transform.
+#: Sign bit / all-ones / exponent masks for the monotone float64 -> u64 key
+#: transform (the JIT realization of ``sortlib.encode_weights_descending``).
 _SIGN = np.uint64(0x8000000000000000)
 _FULL = np.uint64(0xFFFFFFFFFFFFFFFF)
 _ZERO = np.uint64(0)
+_NOSIGN = np.uint64(0x7FFFFFFFFFFFFFFF)
+_EXP = np.uint64(0x7FF0000000000000)
 
 
 def _k_pointer_double(ptr, buf):
@@ -147,10 +152,15 @@ def _k_weight_keys(bits, out):
     float order -- then complement for descending.  ``-0.0`` is normalized
     to ``+0.0`` first so float-equal weights map to equal keys (ties must
     fall through to the stable positional order exactly like the lexsort).
-    NaN-free input is a precondition (``as_edge_arrays`` rejects NaN).
+    Special-value policy matches ``sortlib.encode_weights_descending``
+    byte for byte: every NaN (any sign/payload) maps to the all-ones key,
+    sorting last even after ``-inf``.
     """
     for i in range(bits.size):
         b = bits[i]
+        if (b & _NOSIGN) > _EXP:  # NaN: one shared maximal key
+            out[i] = _FULL
+            continue
         if b == _SIGN:  # -0.0 compares equal to +0.0: same key
             b = _ZERO
         if b & _SIGN:
@@ -251,13 +261,16 @@ class NumbaBackend(NumpyBackend):
         self, weights, ids, name: str | None = "edges.sort_desc"
     ) -> np.ndarray:
         n = int(weights.size)
+        self._emit(name, "sort", n)
+        if not hotpath_config().radix_sort:
+            # Reference realization: the inherited two-key lexsort.
+            return np.lexsort((ids, -weights))
         w = np.ascontiguousarray(weights, dtype=np.float64)
         key = self.take("backend.sort_key", n, np.uint64)
         self._k["weight_keys"](w.view(np.uint64), key)
-        self._emit(name, "sort", n)
-        # Stable integer argsort: NumPy dispatches to radix for u64, the
-        # key-narrowing win over the two-key float lexsort.
-        return np.argsort(key, kind="stable")
+        # Shared sort engine: only the key build is backend-specific (one
+        # fused JIT pass); the mask-narrowed LSD radix is sortlib's.
+        return sortlib.stable_argsort_unsigned(key, workspace=self.workspace)
 
     def warmup(self) -> None:
         """Compile (or touch) every kernel on tiny inputs.

@@ -35,6 +35,7 @@ __all__ = [
     "exclusive_scan",
     "sort",
     "argsort",
+    "argsort_bounded",
     "lexsort",
     "sort_by_key",
     "gather",
@@ -91,6 +92,20 @@ def sort(a: np.ndarray, name: str = "sort") -> np.ndarray:
 
 def argsort(a: np.ndarray, name: str = "argsort") -> np.ndarray:
     return get_backend().argsort(a, name=name)
+
+
+def argsort_bounded(
+    keys: np.ndarray, min_key: int, max_key: int, name: str = "argsort"
+) -> np.ndarray:
+    """Stable argsort of integer keys provably in ``[min_key, max_key]``.
+
+    Same order as :func:`argsort`; the bound is a narrowing hint that lets
+    the backend run an O(n + k) counting/radix sort through the shared
+    :mod:`repro.parallel.sortlib` engine (the chain-stitch sort's keys are
+    bounded by ``2 * n_edges + 1``, so this replaces its full-array
+    lexsort).
+    """
+    return get_backend().argsort_bounded(keys, min_key, max_key, name=name)
 
 
 def lexsort(keys: tuple[np.ndarray, ...], name: str = "lexsort") -> np.ndarray:

@@ -73,6 +73,13 @@ class HotpathConfig:
     row_lookup:
         Precompute per-level global-index -> row lookup tables so
         ``ContractionLevel.row_of`` is a gather, not a binary search.
+    radix_sort:
+        Route the sort-vocabulary methods (canonical edge sort, bounded
+        chain-stitch sort) through :mod:`repro.parallel.sortlib`'s
+        key-narrowing + LSD-radix engine instead of the comparison-sort
+        reference realizations (two-key lexsort / stable ``np.argsort``).
+        Both paths produce bit-identical orders; the flag exists so the
+        benchmark suite can time the reference side and tests can pin it.
     int32_limit:
         Threshold for :func:`index_dtype`; lowered by tests to exercise the
         int64 path on small inputs.
@@ -82,6 +89,7 @@ class HotpathConfig:
     fast_components: bool = True
     pooled_expansion: bool = True
     row_lookup: bool = True
+    radix_sort: bool = True
     int32_limit: int = INT32_LIMIT
 
 
@@ -126,6 +134,7 @@ def seed_equivalent() -> "contextmanager":
         fast_components=False,
         pooled_expansion=False,
         row_lookup=False,
+        radix_sort=False,
     )
 
 

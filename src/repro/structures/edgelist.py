@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..parallel.backend import get_backend
+from ..parallel.machine import debug_checks
 from ..parallel.workspace import index_dtype
 
 __all__ = ["SortedEdgeList", "sort_edges_descending", "as_edge_arrays"]
@@ -23,7 +24,13 @@ __all__ = ["SortedEdgeList", "sort_edges_descending", "as_edge_arrays"]
 def as_edge_arrays(
     u, v, w
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Normalize edge inputs to (int64, int64, float64) 1-D arrays."""
+    """Normalize edge inputs to (int64, int64, float64) 1-D arrays.
+
+    Shape/length checks are always on (O(1)); the content-sanity passes
+    (NaN weights, negative ids, self-loops -- each a full array scan) are
+    debug-gated like every other input-validation pass, so benchmarks with
+    ``REPRO_DEBUG_CHECKS=0`` do not pay them inside the sort phase.
+    """
     u = np.ascontiguousarray(u, dtype=np.int64)
     v = np.ascontiguousarray(v, dtype=np.int64)
     w = np.ascontiguousarray(w, dtype=np.float64)
@@ -33,12 +40,13 @@ def as_edge_arrays(
         raise ValueError(
             f"edge arrays must have equal length, got {u.size}/{v.size}/{w.size}"
         )
-    if np.isnan(w).any():
-        raise ValueError("edge weights must not contain NaN")
-    if u.size and (min(u.min(), v.min()) < 0):
-        raise ValueError("vertex ids must be non-negative")
-    if np.any(u == v):
-        raise ValueError("self-loop edge found; a tree has no self-loops")
+    if debug_checks():
+        if np.isnan(w).any():
+            raise ValueError("edge weights must not contain NaN")
+        if u.size and (min(u.min(), v.min()) < 0):
+            raise ValueError("vertex ids must be non-negative")
+        if np.any(u == v):
+            raise ValueError("self-loop edge found; a tree has no self-loops")
     return u, v, w
 
 
@@ -86,7 +94,7 @@ class SortedEdgeList:
         return inv
 
     def __post_init__(self) -> None:
-        if self.n_edges and np.any(np.diff(self.w) > 0):
+        if debug_checks() and self.n_edges and np.any(np.diff(self.w) > 0):
             raise ValueError("weights must be non-increasing in a SortedEdgeList")
 
 
@@ -108,13 +116,21 @@ def sort_edges_descending(u, v, w, n_vertices: int | None = None) -> SortedEdgeL
     dt = index_dtype(u.size + n_vertices)
     ids = backend.arange(u.size, dt)
     # Canonical order through the backend's sort kernel: weight descending,
-    # ties by input id ascending.  The NumPy backend realizes it as a
-    # two-key lexsort; the numba backend narrows to one radix-sortable
-    # u64 key (same emitted record either way).
+    # ties by input id ascending.  Every backend routes this through the
+    # shared ``repro.parallel.sortlib`` engine -- one monotone u64 weight
+    # key (NumPy bit-twiddle or numba JIT build) plus a mask-narrowed LSD
+    # radix argsort; the ``radix_sort`` hot-path flag pins the two-key
+    # lexsort reference realization instead (same emitted record, same
+    # order, either way).
     order = backend.canonical_sort_order(w, ids, name="edges.sort_desc")
+    # Cast endpoints to the adaptive dtype *before* the permutation gather:
+    # the cast is a cheap sequential pass, the gather is random-access
+    # bound, so gathering the narrow representation halves its traffic.
+    u = u.astype(dt, copy=False)
+    v = v.astype(dt, copy=False)
     return SortedEdgeList(
-        u=u[order].astype(dt, copy=False),
-        v=v[order].astype(dt, copy=False),
+        u=u[order],
+        v=v[order],
         w=w[order],
         order=order,
         n_vertices=n_vertices,
