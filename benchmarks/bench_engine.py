@@ -1,0 +1,195 @@
+"""Engine benchmark: batched multi-mpts HDBSCAN* and the serving path.
+
+Two measurements (artifact ``benchmarks/BENCH_engine.json``; smoke runs
+write ``BENCH_engine_smoke.json``):
+
+* **multi_mpts** -- the paper's Figure-15 query pattern (an ``mpts`` sweep
+  over one dataset), naive per-``mpts`` loop vs ``Engine.hdbscan_batch``.
+  The batch form builds the kd-tree and kNN table once for the whole sweep
+  and caches every EMST artifact, so it must beat the naive loop at every
+  size -- that is the gate CI asserts (``BATCH_GATE``), after first
+  checking the batched results are *identical* to the naive loop's (labels,
+  probabilities, dendrogram parents, MST edges).
+
+* **serving** -- ``Engine.fit_many`` dispatching N dendrogram fits onto a
+  thread pool, each job in a snapshot of the submitting context, vs the
+  same fits run serially.  Parents must match the serial run exactly; the
+  wall-clock ratio is recorded but not gated (how much the pool helps is
+  GIL/BLAS-dependent), since the point of the concurrency contract is
+  correctness under concurrency, which `tests/test_concurrency.py` pins.
+
+Run as pytest (``pytest benchmarks/bench_engine.py``) or directly
+(``PYTHONPATH=src python benchmarks/bench_engine.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from conftest import scaled
+from repro.engine import Engine
+from repro.hdbscan import hdbscan
+from repro.core.pandora import pandora
+from repro.parallel import debug_checks_set
+from repro.structures.tree import random_spanning_tree
+
+N_POINTS = scaled(20_000)
+MPTS_VALUES = (2, 4, 8, 16)  # the paper's Figure-15 sweep
+SERVE_JOBS = 8
+SERVE_EDGES = scaled(60_000)
+REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "3"))
+#: Below this point count the run is a smoke run: the artifact goes to the
+#: smoke file and only the correctness + batch gates are asserted.
+FULL_SIZE = 10_000
+#: Acceptance bar: batched multi-mpts must beat the naive per-mpts loop.
+BATCH_GATE = 1.05
+
+_DIR = os.path.dirname(__file__)
+ARTIFACT = os.path.join(_DIR, "BENCH_engine.json")
+SMOKE_ARTIFACT = os.path.join(_DIR, "BENCH_engine_smoke.json")
+
+
+def _make_points(n: int) -> np.ndarray:
+    rng = np.random.default_rng(11)
+    # Clustered + background mixture: representative HDBSCAN* input.
+    centers = rng.uniform(-40.0, 40.0, size=(8, 2))
+    assign = rng.integers(0, len(centers), size=n)
+    pts = centers[assign] + rng.normal(scale=1.5, size=(n, 2))
+    noise = rng.random(n) < 0.05
+    pts[noise] = rng.uniform(-50.0, 50.0, size=(int(noise.sum()), 2))
+    return pts
+
+
+def _check_batch_matches_naive(naive, batched, mpts_values) -> None:
+    for m, a, b in zip(mpts_values, naive, batched):
+        if not np.array_equal(a.labels, b.labels):
+            raise AssertionError(f"batched labels differ at mpts={m}")
+        if not np.allclose(a.probabilities, b.probabilities):
+            raise AssertionError(f"batched probabilities differ at mpts={m}")
+        if not np.array_equal(a.dendrogram.parent, b.dendrogram.parent):
+            raise AssertionError(f"batched parents differ at mpts={m}")
+        if not (np.array_equal(a.mst.u, b.mst.u)
+                and np.array_equal(a.mst.v, b.mst.v)
+                and np.array_equal(a.mst.w, b.mst.w)):
+            raise AssertionError(f"batched MST differs at mpts={m}")
+
+
+def _bench_multi_mpts(points: np.ndarray, repeats: int) -> dict:
+    mpts_values = list(MPTS_VALUES)
+    mcs = 25
+
+    # Correctness gate before any timing.
+    naive = [hdbscan(points, mpts=m, min_cluster_size=mcs)
+             for m in mpts_values]
+    batched = Engine().hdbscan_batch(points, mpts_values,
+                                     min_cluster_size=mcs)
+    _check_batch_matches_naive(naive, batched, mpts_values)
+
+    naive_s, batched_s = [], []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for m in mpts_values:
+            hdbscan(points, mpts=m, min_cluster_size=mcs)
+        naive_s.append(time.perf_counter() - t0)
+        # Fresh engine per repeat: time the batch mechanics, not a warm
+        # content cache.
+        engine = Engine()
+        t0 = time.perf_counter()
+        engine.hdbscan_batch(points, mpts_values, min_cluster_size=mcs)
+        batched_s.append(time.perf_counter() - t0)
+
+    naive_mean = float(np.mean(naive_s))
+    batched_mean = float(np.mean(batched_s))
+    return {
+        "mpts_values": mpts_values,
+        "min_cluster_size": mcs,
+        "naive": {"mean": naive_mean, "std": float(np.std(naive_s))},
+        "batched": {"mean": batched_mean, "std": float(np.std(batched_s))},
+        "speedup": round(naive_mean / max(batched_mean, 1e-12), 3),
+    }
+
+
+def _bench_serving(n_edges: int, repeats: int) -> dict:
+    problems = []
+    for i in range(SERVE_JOBS):
+        rng = np.random.default_rng(500 + i)
+        problems.append(random_spanning_tree(n_edges + 1, rng, skew=0.3))
+
+    serial_ref = [pandora(u, v, w)[0].parent for u, v, w in problems]
+    engine = Engine(cache_entries=2 * SERVE_JOBS)
+    handles = engine.fit_many(problems, max_workers=SERVE_JOBS)
+    for i, (ref, handle) in enumerate(zip(serial_ref, handles)):
+        if not np.array_equal(handle.parent, ref):
+            raise AssertionError(f"serving job {i} parents differ from serial")
+
+    serial_s, pool_s = [], []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for u, v, w in problems:
+            pandora(u, v, w)
+        serial_s.append(time.perf_counter() - t0)
+        engine = Engine(cache_entries=2 * SERVE_JOBS)
+        t0 = time.perf_counter()
+        engine.fit_many(problems, max_workers=SERVE_JOBS)
+        pool_s.append(time.perf_counter() - t0)
+
+    serial_mean = float(np.mean(serial_s))
+    pool_mean = float(np.mean(pool_s))
+    return {
+        "n_jobs": SERVE_JOBS,
+        "n_edges_per_job": int(n_edges),
+        "workers": SERVE_JOBS,
+        "serial": {"mean": serial_mean, "std": float(np.std(serial_s))},
+        "pool": {"mean": pool_mean, "std": float(np.std(pool_s))},
+        "pool_vs_serial": round(serial_mean / max(pool_mean, 1e-12), 3),
+        "parity": True,
+    }
+
+
+def run_engine_bench(
+    n_points: int = N_POINTS, repeats: int = REPEATS,
+    artifact: str | None = None,
+) -> dict:
+    if artifact is None:
+        artifact = ARTIFACT if n_points >= FULL_SIZE else SMOKE_ARTIFACT
+    points = _make_points(n_points)
+    with debug_checks_set(False):
+        multi = _bench_multi_mpts(points, repeats)
+        serving = _bench_serving(SERVE_EDGES, repeats)
+    report = {
+        "bench": "engine",
+        "n_points": int(n_points),
+        "repeats": int(repeats),
+        "unit": "seconds",
+        "multi_mpts": multi,
+        "serving": serving,
+    }
+    with open(artifact, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return report
+
+
+def test_engine_bench():
+    report = run_engine_bench()
+    multi = report["multi_mpts"]
+    print(f"\n[engine] n_points={report['n_points']} "
+          f"multi_mpts speedup={multi['speedup']}x "
+          f"(naive {multi['naive']['mean']:.3f}s, "
+          f"batched {multi['batched']['mean']:.3f}s)")
+    print(f"[engine] serving pool_vs_serial="
+          f"{report['serving']['pool_vs_serial']}x over "
+          f"{report['serving']['n_jobs']} jobs")
+    full = report["n_points"] >= FULL_SIZE
+    assert os.path.exists(ARTIFACT if full else SMOKE_ARTIFACT)
+    # The batch gate holds at every size: the shared kd-tree build + kNN
+    # self-query are a real fraction of the sweep even at smoke scale.
+    assert multi["speedup"] >= BATCH_GATE, multi
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_engine_bench(), indent=2, sort_keys=True))

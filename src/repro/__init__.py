@@ -23,6 +23,7 @@ from .core import (
     dendrogram_topdown,
     pandora,
 )
+from .engine import DendrogramHandle, Engine
 from .structures import Dendrogram, SortedEdgeList, sort_edges_descending
 
 __version__ = "1.0.0"
@@ -30,6 +31,8 @@ __version__ = "1.0.0"
 __all__ = [
     "pandora",
     "PandoraStats",
+    "Engine",
+    "DendrogramHandle",
     "dendrogram_bottomup",
     "dendrogram_topdown",
     "dendrogram_mixed",

@@ -4,6 +4,11 @@ Commands
 --------
 ``cluster``    run HDBSCAN* on a registry dataset or a .npy point file and
                print the flat clustering summary.
+``batch``      run HDBSCAN* at several ``mpts`` values through the
+               :class:`~repro.engine.Engine`: the kd-tree and kNN table are
+               built once for the whole sweep (the paper's Figure-15 query
+               pattern) and every per-``mpts`` EMST artifact is cached;
+               prints the per-``mpts`` summary plus the reuse stats.
 ``dendrogram`` build a dendrogram from a dataset (or .npy) and print its
                statistics and phase times; optionally verify against the
                sequential oracle and export Newick.
@@ -64,6 +69,54 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     if args.out:
         np.save(args.out, res.labels)
         print(f"labels written to {args.out}")
+    return 0
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    import time
+
+    from .engine import Engine
+    from .perf import render_table
+
+    try:
+        mpts_values = [int(s) for s in args.mpts.split(",") if s.strip()]
+    except ValueError:
+        raise SystemExit(f"--mpts must be comma-separated integers, got "
+                         f"{args.mpts!r}")
+    if not mpts_values:
+        raise SystemExit("--mpts must name at least one value")
+
+    pts = _load_points(args.source, args.n, args.seed)
+    engine = Engine()
+    t0 = time.perf_counter()
+    results = engine.hdbscan_batch(
+        pts, mpts_values, min_cluster_size=args.min_cluster_size
+    )
+    elapsed = time.perf_counter() - t0
+
+    rows = []
+    for m, res in zip(mpts_values, results):
+        rows.append([
+            m, res.n_clusters, f"{res.flat.noise_fraction:.1%}",
+            f"{res.phase_seconds['mst']:.3f}s",
+            f"{res.phase_seconds['dendrogram']:.3f}s",
+            f"{res.phase_seconds['extraction']:.3f}s",
+        ])
+    print(render_table(
+        ["mpts", "clusters", "noise", "t_mst", "t_dendrogram", "t_extract"],
+        rows,
+        title=f"Engine batch: {len(pts):,} points (dim {pts.shape[1]}), "
+              f"{len(mpts_values)} mpts values in {elapsed:.3f}s",
+    ))
+    stats = engine.cache_stats()
+    print(f"artifact cache: {stats['entries']} entries, "
+          f"{stats['hits']} hits / {stats['misses']} misses "
+          f"(kd-tree + kNN built once for the whole sweep)")
+    if args.out:
+        labels = np.stack([res.labels for res in results])
+        np.save(args.out, labels)
+        print(f"label matrix ({labels.shape[0]} x {labels.shape[1]}) "
+              f"written to {args.out}")
     return 0
 
 
@@ -183,6 +236,21 @@ def main(argv: list[str] | None = None) -> int:
                    choices=["pandora", "unionfind", "mixed"])
     p.add_argument("--out", default=None, help="write labels to .npy")
     p.set_defaults(fn=cmd_cluster)
+
+    p = sub.add_parser(
+        "batch", help="HDBSCAN* mpts sweep through the engine (shared "
+                      "kd-tree/kNN, cached EMST artifacts)"
+    )
+    p.add_argument("source", help="registry dataset name or .npy file")
+    p.add_argument("--n", type=int, default=None, help="point count")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--mpts", default="2,4,8,16",
+                   help="comma-separated mpts values (default: 2,4,8,16, "
+                        "the paper's Figure-15 sweep)")
+    p.add_argument("--min-cluster-size", type=int, default=5)
+    p.add_argument("--out", default=None,
+                   help="write the (n_mpts, n_points) label matrix to .npy")
+    p.set_defaults(fn=cmd_batch)
 
     p = sub.add_parser("dendrogram", help="build + inspect a dendrogram")
     p.add_argument("source")

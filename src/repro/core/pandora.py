@@ -1,19 +1,27 @@
 """PANDORA driver: the full tree-contraction dendrogram algorithm.
 
-Pipeline (Algorithm 3 + Sections 3.2/3.3):
+Pipeline (Algorithm 3 + Sections 3.2/3.3), expressed as an explicit
+:class:`~repro.engine.plan.Plan` of four composable phases over named,
+immutable artifacts:
 
-1. **sort** -- canonical edge sort (descending weight, ties by input id) and,
-   at the end, the chain sort.  The paper's phase accounting groups the
-   initial and final sorts together and Figure 13 shows this phase dominating
-   on CPUs; we follow the same attribution.
-2. **contraction** -- multilevel alpha-contraction (``contract_multilevel``).
-3. **expansion** -- per-edge leaf-chain assignment over the levels and chain
-   stitching into the final parent array.
+1. **sort** (bucket ``sort``) -- canonical edge sort (descending weight,
+   ties by input id); provides the ``edges`` artifact.
+2. **contraction** -- multilevel alpha-contraction (``contract_multilevel``);
+   provides ``levels``.
+3. **expansion** -- per-edge leaf-chain assignment over the levels;
+   provides ``assignment``.
+4. **stitch** (bucket ``sort``) -- chain sorting and linking into the final
+   parent array; provides ``parent``.  The bucket follows the paper's phase
+   accounting, which groups the initial and final sorts together (Section
+   6.4.3, Figure 13).
 
-``pandora()`` returns the :class:`~repro.structures.dendrogram.Dendrogram`
-plus a :class:`PandoraStats` with wall-clock phase times and hierarchy
-statistics; pass a :class:`~repro.parallel.machine.CostModel` to also capture
-the kernel trace for device-model pricing.
+``pandora()`` executes the default plan and returns the
+:class:`~repro.structures.dendrogram.Dendrogram` plus a
+:class:`PandoraStats` with per-bucket wall times (and per-phase detail);
+pass a :class:`~repro.parallel.machine.CostModel` to also capture the
+kernel trace for device-model pricing.  Untracked calls use a fresh
+per-call throwaway sink, so concurrent executions never share mutable
+accounting state (the old module-level ``_NULL_MODEL`` sink was a race).
 
 ``dendrogram_single_level()`` is the Section-3.3.1 ablation (one contraction
 level, bottom-up walks in the contracted dendrogram).
@@ -23,9 +31,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Any, Mapping
 
 import numpy as np
 
+from ..engine.plan import Phase, Plan, PlanResult
 from ..parallel.backend import get_backend
 from ..parallel.machine import CostModel, active_model, tracking
 from ..structures.dendrogram import Dendrogram
@@ -33,7 +43,13 @@ from ..structures.edgelist import sort_edges_descending
 from .contraction import contract_multilevel, max_contraction_levels
 from .expansion import assign_chains, expand_single_level, stitch_chains
 
-__all__ = ["PandoraStats", "pandora", "pandora_parents", "dendrogram_single_level"]
+__all__ = [
+    "PandoraStats",
+    "pandora",
+    "pandora_plan",
+    "pandora_parents",
+    "dendrogram_single_level",
+]
 
 
 @dataclass
@@ -47,6 +63,9 @@ class PandoraStats:
     alpha_counts: list[int] = field(default_factory=list)
     n_root_chain: int = 0
     phase_seconds: dict[str, float] = field(default_factory=dict)
+    #: Per-plan-phase wall times (finer than the bucketed ``phase_seconds``:
+    #: the initial sort and the final stitch are separate entries here).
+    phase_detail: dict[str, float] = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
@@ -67,12 +86,76 @@ class PandoraStats:
                 )
 
 
+# ---------------------------------------------------------------------------
+# The default plan: sort -> contraction -> expansion -> stitch.
+# ---------------------------------------------------------------------------
+
+
+def _sort_phase(a: Mapping[str, Any]) -> dict[str, Any]:
+    edges = sort_edges_descending(a["u"], a["v"], a["w"], a["n_vertices"])
+    return {"edges": edges}
+
+
+def _contraction_phase(a: Mapping[str, Any]) -> dict[str, Any]:
+    edges = a["edges"]
+    levels = contract_multilevel(edges.u, edges.v, edges.n_vertices)
+    return {"levels": tuple(levels)}
+
+
+def _expansion_phase(a: Mapping[str, Any]) -> dict[str, Any]:
+    return {"assignment": assign_chains(list(a["levels"]))}
+
+
+def _stitch_phase(a: Mapping[str, Any]) -> dict[str, Any]:
+    edges = a["edges"]
+    parent = stitch_chains(
+        a["assignment"], edges.n_edges, edges.n_vertices, a["levels"][0].max_inc
+    )
+    return {"parent": parent}
+
+
+def pandora_plan() -> Plan:
+    """The default PANDORA plan.
+
+    Inputs: ``u``, ``v``, ``w``, ``n_vertices`` (which may be ``None``).
+    Final artifacts: ``edges``, ``levels``, ``assignment``, ``parent``.
+    Recompose with :meth:`~repro.engine.plan.Plan.replace` to build
+    instrumented or ablated variants without touching the driver.
+    """
+    return Plan([
+        Phase("sort", _sort_phase,
+              requires=("u", "v", "w", "n_vertices"), provides=("edges",),
+              bucket="sort"),
+        Phase("contraction", _contraction_phase,
+              requires=("edges",), provides=("levels",)),
+        Phase("expansion", _expansion_phase,
+              requires=("levels",), provides=("assignment",)),
+        Phase("stitch", _stitch_phase,
+              requires=("edges", "levels", "assignment"),
+              provides=("parent",), bucket="sort"),
+    ])
+
+
+def _stats_from(result: PlanResult) -> PandoraStats:
+    edges = result["edges"]
+    levels = result["levels"]
+    stats = PandoraStats(n_edges=edges.n_edges, n_vertices=edges.n_vertices)
+    stats.n_levels = len(levels)
+    stats.level_sizes = [lv.n_edges for lv in levels]
+    stats.alpha_counts = [lv.n_alpha for lv in levels]
+    stats.n_root_chain = result["assignment"].n_root_chain
+    stats.phase_seconds = result.bucket_seconds
+    stats.phase_detail = {t.name: t.seconds for t in result.timings}
+    return stats
+
+
 def pandora(
     u,
     v,
     w,
     n_vertices: int | None = None,
     cost_model: CostModel | None = None,
+    plan: Plan | None = None,
 ) -> tuple[Dendrogram, PandoraStats]:
     """Construct the single-linkage dendrogram of an MST with PANDORA.
 
@@ -84,64 +167,27 @@ def pandora(
         Ambient vertex count; inferred from the endpoints when omitted.
     cost_model:
         Optional :class:`CostModel` that receives the kernel trace, tagged
-        with phases ``sort`` / ``contraction`` / ``expansion``.
+        with phases ``sort`` / ``contraction`` / ``expansion``.  When
+        omitted, an enclosing :func:`~repro.parallel.machine.tracking`
+        context's model is used if one exists; otherwise a fresh per-call
+        throwaway sink (there is deliberately no shared fallback sink).
+    plan:
+        Optional recomposed :class:`~repro.engine.plan.Plan`; defaults to
+        :func:`pandora_plan`.
 
     Returns
     -------
     (dendrogram, stats)
     """
     if cost_model is None:
-        if active_model() is not None:
-            # An enclosing tracking() context exists: record into it.
-            return _run(u, v, w, n_vertices)
-        cost_model = _NULL_MODEL
+        # Enclosing tracking() context if any, else a per-call sink so
+        # phases can always be tagged without shared mutable state.
+        cost_model = active_model() or CostModel()
+    inputs = {"u": u, "v": v, "w": w, "n_vertices": n_vertices}
     with tracking(cost_model):
-        return _run(u, v, w, n_vertices)
-
-
-_NULL_MODEL = CostModel()  # throwaway sink so phases can always be tagged
-
-
-def _run(u, v, w, n_vertices: int | None) -> tuple[Dendrogram, PandoraStats]:
-    model = active_model()
-    assert model is not None
-    phases: dict[str, float] = {}
-
-    t0 = time.perf_counter()
-    with model.phase("sort"):
-        edges = sort_edges_descending(u, v, w, n_vertices)
-    phases["sort"] = time.perf_counter() - t0
-
-    stats = PandoraStats(n_edges=edges.n_edges, n_vertices=edges.n_vertices)
-
-    t0 = time.perf_counter()
-    with model.phase("contraction"):
-        levels = contract_multilevel(edges.u, edges.v, edges.n_vertices)
-    phases["contraction"] = time.perf_counter() - t0
-
-    t0 = time.perf_counter()
-    with model.phase("expansion"):
-        assignment = assign_chains(levels)
-    t_assign = time.perf_counter() - t0
-
-    # The chain sort is attributed to the sort phase (paper Section 6.4.3:
-    # "Sorting (includes both initial and final sort ...)").
-    t0 = time.perf_counter()
-    with model.phase("sort"):
-        parent = stitch_chains(
-            assignment, edges.n_edges, edges.n_vertices, levels[0].max_inc
-        )
-    phases["sort"] += time.perf_counter() - t0
-    phases["expansion"] = t_assign
-
-    stats.n_levels = len(levels)
-    stats.level_sizes = [lv.n_edges for lv in levels]
-    stats.alpha_counts = [lv.n_alpha for lv in levels]
-    stats.n_root_chain = assignment.n_root_chain
-    stats.phase_seconds = phases
-
-    _NULL_MODEL.clear()
-    return Dendrogram(edges=edges, parent=parent), stats
+        result = (plan or pandora_plan()).execute(inputs, cost_model)
+    dend = Dendrogram(edges=result["edges"], parent=result["parent"])
+    return dend, _stats_from(result)
 
 
 def pandora_parents(
@@ -172,7 +218,8 @@ def dendrogram_single_level(
     dendrogram bottom-up -- the Theta(n * h_alpha) scheme of Figure 10.
     Produces the identical dendrogram; exists to measure the cost gap.
     """
-    model = active_model() or _NULL_MODEL
+    # Per-call throwaway sink when untracked (same rationale as pandora()).
+    model = active_model() or CostModel()
     phases: dict[str, float] = {}
 
     t0 = time.perf_counter()
@@ -212,5 +259,4 @@ def dendrogram_single_level(
     stats.level_sizes = [lv.n_edges for lv in levels]
     stats.alpha_counts = [lv.n_alpha for lv in levels]
     stats.phase_seconds = phases
-    _NULL_MODEL.clear()
     return Dendrogram(edges=edges, parent=parent), stats

@@ -1,0 +1,47 @@
+"""Concurrency-safe engine layer: plans, artifact cache, serving facade.
+
+Three pieces (see the sibling modules for the full contracts):
+
+* :mod:`repro.engine.plan` -- composable :class:`Plan`/:class:`Phase`
+  pipelines over named, immutable artifacts with per-phase timing; the
+  PANDORA driver (:func:`repro.core.pandora.pandora_plan`) is expressed as
+  one.
+* :mod:`repro.engine.cache` -- the content-keyed, thread-safe
+  :class:`ArtifactCache`.
+* :mod:`repro.engine.engine` -- the :class:`Engine` facade: cached fits,
+  batched multi-``mpts`` HDBSCAN*, multi-cut dendrogram queries, and a
+  context-snapshotting thread-pool serving path.
+
+Execution state (backend selection, cost-model stack, hot-path flags,
+debug checks) is context-local and workspace pools are per-thread, so any
+number of engine jobs -- or plain threads -- run concurrently with zero
+cross-talk; see the ROADMAP "Engine contract" section.
+"""
+
+from .cache import ArtifactCache, content_key
+from .plan import Phase, PhaseTiming, Plan, PlanError, PlanResult
+
+__all__ = [
+    "ArtifactCache",
+    "content_key",
+    "Phase",
+    "PhaseTiming",
+    "Plan",
+    "PlanError",
+    "PlanResult",
+    "Engine",
+    "DendrogramHandle",
+]
+
+_LAZY = ("Engine", "DendrogramHandle")
+
+
+def __getattr__(name: str):
+    # Engine imports repro.core / repro.hdbscan, which themselves import
+    # repro.engine.plan; loading it lazily keeps the package import-cycle
+    # free (PEP 562).
+    if name in _LAZY:
+        from . import engine as _engine
+
+        return getattr(_engine, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -86,6 +86,7 @@ def hdbscan(
     allow_single_cluster: bool = False,
     leaf_size: int = 96,
     cost_model: CostModel | None = None,
+    mst: EMSTResult | None = None,
 ) -> HDBSCANResult:
     """Hierarchical density-based clustering of a point cloud.
 
@@ -106,6 +107,11 @@ def hdbscan(
         kd-tree leaf size for the EMST.
     cost_model:
         Optional kernel-trace sink for device-model pricing.
+    mst:
+        Optional precomputed mutual-reachability EMST of ``points`` at this
+        ``mpts`` (e.g. an :class:`~repro.engine.Engine` cache artifact);
+        skips the in-pipeline EMST build and records a zero ``mst`` phase.
+        The caller is responsible for parameter consistency.
     """
     points = np.ascontiguousarray(points, dtype=np.float64)
     if points.ndim != 2:
@@ -121,7 +127,8 @@ def hdbscan(
     phases: dict[str, float] = {}
 
     t0 = time.perf_counter()
-    mst = emst(points, mpts=mpts, leaf_size=leaf_size)
+    if mst is None:
+        mst = emst(points, mpts=mpts, leaf_size=leaf_size)
     phases["mst"] = time.perf_counter() - t0
 
     t0 = time.perf_counter()

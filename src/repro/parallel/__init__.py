@@ -44,6 +44,7 @@ from .machine import (
     emit,
     set_debug_checks,
     tracking,
+    untracked,
 )
 from .workspace import (
     HotpathConfig,
@@ -106,6 +107,7 @@ __all__ = [
     "KernelRecord",
     "tracking",
     "active_model",
+    "untracked",
     "emit",
     "CPU_SEQUENTIAL",
     "CPU_EPYC_7A53",

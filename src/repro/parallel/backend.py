@@ -48,9 +48,13 @@ Contract for backend authors
   the trace: the trace records the logical parallel schedule, not the
   realization.
 * **Workspace ownership.**  Every backend instance owns its scratch-buffer
-  pool (:attr:`Backend.workspace`); a future CuPy backend hands out device
-  arrays from the same interface.  :func:`repro.parallel.workspace.workspace`
-  resolves to the *active* backend's pool.
+  pools (:attr:`Backend.workspace`), **one per thread**: backend instances
+  are cached singletons shared by every execution context, so per-thread
+  pools are what lets N threads run kernels concurrently with zero
+  scratch cross-talk (the engine concurrency contract).  A future CuPy
+  backend hands out device arrays from the same interface.
+  :func:`repro.parallel.workspace.workspace` resolves to the *active*
+  backend's pool for the calling thread.
 * **No-emit calls.**  Vocabulary methods accept ``name=None`` to suppress
   kernel accounting; kernel authors use this when several backend calls
   realize one logical kernel whose combined record they emit themselves.
@@ -60,7 +64,9 @@ from __future__ import annotations
 
 import importlib.util
 import os
+import threading
 from contextlib import contextmanager
+from contextvars import ContextVar
 from typing import Callable, Iterator
 
 import numpy as np
@@ -101,8 +107,29 @@ class Backend:
     name: str = "abstract"
 
     def __init__(self) -> None:
-        #: Backend-owned scratch pool (see module docstring).
-        self.workspace = Workspace()
+        # Per-thread scratch pools (see module docstring): the instance is a
+        # shared singleton, the pools are not.
+        self._pools = threading.local()
+
+    def _make_workspace(self) -> Workspace:
+        """Pool factory; a device backend returns a device-buffer pool."""
+        return Workspace()
+
+    @property
+    def workspace(self) -> Workspace:
+        """This backend's scratch pool for the *calling thread*.
+
+        Created lazily on first access per thread; ``scoped_workspace``
+        swaps it via the setter (also thread-locally).
+        """
+        ws = getattr(self._pools, "ws", None)
+        if ws is None:
+            ws = self._pools.ws = self._make_workspace()
+        return ws
+
+    @workspace.setter
+    def workspace(self, ws: Workspace) -> None:
+        self._pools.ws = ws
 
     # -- helpers -----------------------------------------------------------
     def _emit(self, name: str | None, category: KernelCategory, work: int) -> None:
@@ -520,12 +547,25 @@ class NumpyBackend(Backend):
 
 # ---------------------------------------------------------------------------
 # Registry and active-backend plumbing.
+#
+# The registry itself (factories, cached instances) is process-global --
+# backend instances are stateless singletons apart from their per-thread
+# workspace pools -- but *selection* state is context-local: both the
+# ``use_backend`` stack and the ``set_default_backend`` default live in
+# ContextVars, so concurrent execution contexts pick backends independently
+# (the engine concurrency contract).  A context that never selected anything
+# falls back to ``REPRO_BACKEND`` / ``numpy``.
 # ---------------------------------------------------------------------------
 
 _FACTORIES: dict[str, tuple[Callable[[], Backend], Callable[[], bool]]] = {}
 _INSTANCES: dict[str, Backend] = {}
-_STACK: list[Backend] = []
-_DEFAULT: Backend | None = None
+_INSTANCES_LOCK = threading.Lock()
+_STACK: ContextVar[tuple[Backend, ...]] = ContextVar(
+    "repro_backend_stack", default=()
+)
+_DEFAULT: ContextVar[Backend | None] = ContextVar(
+    "repro_backend_default", default=None
+)
 
 
 def register_backend(
@@ -574,34 +614,46 @@ def _instantiate(name: str) -> Backend:
         )
     instance = _INSTANCES.get(name)
     if instance is None:
-        instance = _INSTANCES[name] = factory()
+        # Locked so concurrent first calls agree on one singleton (kernels
+        # key scratch pools and identity checks on the instance).
+        with _INSTANCES_LOCK:
+            instance = _INSTANCES.get(name)
+            if instance is None:
+                instance = _INSTANCES[name] = factory()
     return instance
 
 
 def get_backend() -> Backend:
-    """The active backend: innermost ``use_backend``, else the default."""
-    if _STACK:
-        return _STACK[-1]
-    global _DEFAULT
-    if _DEFAULT is None:
-        _DEFAULT = _instantiate(os.environ.get("REPRO_BACKEND", "numpy"))
-    return _DEFAULT
+    """The active backend: innermost ``use_backend``, else the context
+    default, else lazy ``REPRO_BACKEND`` / ``numpy`` resolution."""
+    stack = _STACK.get()
+    if stack:
+        return stack[-1]
+    default = _DEFAULT.get()
+    if default is None:
+        default = _instantiate(os.environ.get("REPRO_BACKEND", "numpy"))
+        _DEFAULT.set(default)
+    return default
 
 
 def set_default_backend(backend: str | Backend | None) -> Backend | None:
-    """Set the process-default backend (registry name or instance).
+    """Set the default backend of the current execution context.
 
     ``None`` resets to lazy resolution (``REPRO_BACKEND`` env var, else
     ``numpy``) on the next :func:`get_backend` call.  Returns the previous
     default -- an instance or ``None`` -- suitable for handing back to this
     function to restore it without re-instantiating anything.
+
+    Context-locality (engine contract): the setting is visible to this
+    context and to contexts later copied from it (the CLI, and every job
+    the engine's serving path dispatches, since jobs run in snapshots of
+    the submitting context) -- but never to concurrent sibling contexts.
     """
-    global _DEFAULT
-    previous = _DEFAULT
+    previous = _DEFAULT.get()
     if backend is None or isinstance(backend, Backend):
-        _DEFAULT = backend
+        _DEFAULT.set(backend)
     else:
-        _DEFAULT = _instantiate(backend)
+        _DEFAULT.set(_instantiate(backend))
     return previous
 
 
@@ -611,13 +663,16 @@ def use_backend(backend: str | Backend) -> Iterator[Backend]:
 
         with use_backend("numba"):
             pandora(u, v, w)
+
+    The activation is context-local: concurrent executions can each pin a
+    different backend without interfering.
     """
     b = backend if isinstance(backend, Backend) else _instantiate(backend)
-    _STACK.append(b)
+    token = _STACK.set(_STACK.get() + (b,))
     try:
         yield b
     finally:
-        _STACK.pop()
+        _STACK.reset(token)
 
 
 # ---------------------------------------------------------------------------

@@ -29,6 +29,7 @@ from __future__ import annotations
 import math
 import os
 from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass
 from types import MappingProxyType
 from typing import Iterator, Mapping
@@ -40,6 +41,7 @@ __all__ = [
     "CostModel",
     "tracking",
     "active_model",
+    "untracked",
     "emit",
     "scale_trace",
     "debug_checks",
@@ -58,34 +60,47 @@ __all__ = [
 # cost nothing in benchmark runs (set REPRO_DEBUG_CHECKS=0 or call
 # ``set_debug_checks(False)``).  Enabled by default: tests and interactive
 # use keep full validation.
+#
+# The flag is *context-local* (the engine contract: no execution state is
+# process-global): ``set_debug_checks`` affects the calling context only, so
+# concurrent executions cannot flip each other's validation.  A context that
+# never set the flag falls back to the process default captured from
+# ``REPRO_DEBUG_CHECKS`` at import.  New threads start from that default;
+# the engine's serving path snapshots the submitting context so pool workers
+# inherit the caller's setting.
 # ---------------------------------------------------------------------------
 
-_DEBUG_CHECKS = os.environ.get("REPRO_DEBUG_CHECKS", "1").lower() not in (
+_DEBUG_CHECKS_DEFAULT = os.environ.get("REPRO_DEBUG_CHECKS", "1").lower() not in (
     "0", "false", "off",
+)
+
+_DEBUG_CHECKS: ContextVar[bool | None] = ContextVar(
+    "repro_debug_checks", default=None
 )
 
 
 def debug_checks() -> bool:
-    """Whether debug-only input validation is active."""
-    return _DEBUG_CHECKS
+    """Whether debug-only input validation is active (in this context)."""
+    value = _DEBUG_CHECKS.get()
+    return _DEBUG_CHECKS_DEFAULT if value is None else value
 
 
 def set_debug_checks(enabled: bool) -> bool:
-    """Enable/disable debug validation; returns the previous setting."""
-    global _DEBUG_CHECKS
-    previous = _DEBUG_CHECKS
-    _DEBUG_CHECKS = bool(enabled)
+    """Enable/disable debug validation in the current execution context;
+    returns the previous effective setting."""
+    previous = debug_checks()
+    _DEBUG_CHECKS.set(bool(enabled))
     return previous
 
 
 @contextmanager
 def debug_checks_set(enabled: bool) -> Iterator[None]:
-    """Temporarily force debug validation on or off."""
-    previous = set_debug_checks(enabled)
+    """Temporarily force debug validation on or off (context-locally)."""
+    token = _DEBUG_CHECKS.set(bool(enabled))
     try:
         yield
     finally:
-        set_debug_checks(previous)
+        _DEBUG_CHECKS.reset(token)
 
 #: Kernel categories distinguished by the model.  Categories map to the
 #: parallel constructs used by the paper's implementation.
@@ -230,30 +245,55 @@ class CostModel:
 
 # ---------------------------------------------------------------------------
 # Active-model plumbing.  Primitives call ``emit`` unconditionally; it is a
-# cheap no-op when nothing is being tracked.
+# cheap no-op when nothing is being tracked.  The stack of active models is
+# context-local (an immutable tuple held in a ContextVar): N threads can
+# each track their own CostModel with zero cross-talk, and nested tracking
+# within one context behaves exactly as the old process-global stack did.
+# CostModel instances themselves are not thread-safe -- use one per tracked
+# execution, never one model shared by concurrent runs.
 # ---------------------------------------------------------------------------
 
-_ACTIVE: list[CostModel] = []
+_ACTIVE: ContextVar[tuple[CostModel, ...]] = ContextVar(
+    "repro_cost_models", default=()
+)
 
 
 @contextmanager
 def tracking(model: CostModel) -> Iterator[CostModel]:
     """Make ``model`` receive kernel records emitted inside the block."""
-    _ACTIVE.append(model)
+    token = _ACTIVE.set(_ACTIVE.get() + (model,))
     try:
         yield model
     finally:
-        _ACTIVE.pop()
+        _ACTIVE.reset(token)
 
 
 def active_model() -> CostModel | None:
-    return _ACTIVE[-1] if _ACTIVE else None
+    stack = _ACTIVE.get()
+    return stack[-1] if stack else None
+
+
+@contextmanager
+def untracked() -> Iterator[None]:
+    """Suspend kernel-trace recording for the block (context-locally).
+
+    The engine's serving path runs jobs in snapshots of the submitting
+    context; this shields an inherited tracked model from concurrent
+    emission (CostModel instances are not thread-safe).  A job that wants
+    its own trace simply opens a fresh :func:`tracking` block inside.
+    """
+    token = _ACTIVE.set(())
+    try:
+        yield
+    finally:
+        _ACTIVE.reset(token)
 
 
 def emit(name: str, category: KernelCategory, work: int) -> None:
-    """Record one kernel launch into every active model."""
-    if _ACTIVE:
-        _ACTIVE[-1].add(name, category, work)
+    """Record one kernel launch into the innermost active model."""
+    stack = _ACTIVE.get()
+    if stack:
+        stack[-1].add(name, category, work)
 
 
 def scale_trace(model: CostModel, factor: float) -> CostModel:

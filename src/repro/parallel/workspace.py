@@ -33,6 +33,7 @@ needs.  This module provides both levers for the NumPy reproduction:
 from __future__ import annotations
 
 from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass, replace
 from typing import Iterator
 
@@ -93,34 +94,45 @@ class HotpathConfig:
     int32_limit: int = INT32_LIMIT
 
 
-_CONFIG = HotpathConfig()
+# Context-local configuration (the engine contract: no execution state is
+# process-global).  ``set_hotpath_config`` / ``hotpath`` affect the calling
+# context only, so concurrent executions can pin different flag sets -- one
+# thread timing the seed-equivalent path while another runs fully optimized
+# -- with zero cross-talk.  A context that never set a config falls back to
+# the immutable process default below.
+_DEFAULT_CONFIG = HotpathConfig()
+
+_CONFIG: ContextVar[HotpathConfig | None] = ContextVar(
+    "repro_hotpath_config", default=None
+)
 
 
 def hotpath_config() -> HotpathConfig:
-    """The currently active hot-path configuration."""
-    return _CONFIG
+    """The hot-path configuration active in the current context."""
+    cfg = _CONFIG.get()
+    return _DEFAULT_CONFIG if cfg is None else cfg
 
 
 def set_hotpath_config(config: HotpathConfig) -> HotpathConfig:
-    """Replace the active configuration; returns the previous one."""
-    global _CONFIG
-    previous = _CONFIG
-    _CONFIG = config
+    """Replace the context's configuration; returns the previous one."""
+    previous = hotpath_config()
+    _CONFIG.set(config)
     return previous
 
 
 @contextmanager
 def hotpath(**overrides) -> Iterator[HotpathConfig]:
-    """Temporarily override hot-path flags::
+    """Temporarily override hot-path flags (context-locally)::
 
         with hotpath(adaptive_dtypes=False):
             pandora(u, v, w)   # forced int64 internally
     """
-    previous = set_hotpath_config(replace(_CONFIG, **overrides))
+    config = replace(hotpath_config(), **overrides)
+    token = _CONFIG.set(config)
     try:
-        yield _CONFIG
+        yield config
     finally:
-        set_hotpath_config(previous)
+        _CONFIG.reset(token)
 
 
 def seed_equivalent() -> "contextmanager":
@@ -145,7 +157,7 @@ def index_dtype(n_elements: int) -> np.dtype:
     processed so that every index value (edge index, vertex label, dendrogram
     node id) is representable.
     """
-    cfg = _CONFIG
+    cfg = hotpath_config()
     if cfg.adaptive_dtypes and n_elements < cfg.int32_limit:
         return np.dtype(np.int32)
     return np.dtype(np.int64)
@@ -204,9 +216,11 @@ class Workspace:
 def workspace() -> Workspace:
     """The scratch pool of the *active backend* (see ``repro.parallel.backend``).
 
-    Each backend instance owns its buffers, so a device backend can hand
-    out device arrays through the same interface; hot-path kernels keep
-    calling this accessor and never notice which pool is behind it.
+    Each backend instance owns one pool **per thread** (the engine
+    concurrency contract: scratch is never shared between concurrently
+    executing contexts), so a device backend can hand out device arrays
+    through the same interface; hot-path kernels keep calling this accessor
+    and never notice which pool is behind it.
     """
     from .backend import get_backend
 
@@ -219,8 +233,9 @@ def scoped_workspace() -> Iterator[Workspace]:
 
     Lets tests assert reuse behaviour without interference from buffers
     other code already warmed up.  The swap is pinned to the backend that
-    is active at entry; switching backends inside the block sees that
-    backend's own (unswapped) pool.
+    is active at entry *in the current thread* (pools are per-thread);
+    switching backends inside the block sees that backend's own
+    (unswapped) pool.
     """
     from .backend import get_backend
 

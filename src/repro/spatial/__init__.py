@@ -6,13 +6,15 @@ from .distances import (
     pairwise_mutual_reachability,
     sq_dist_block,
 )
-from .emst import EMSTResult, core_distances, emst
+from .emst import EMSTResult, KNNArtifact, core_distances, emst, knn_graph
 from .kdtree import KDTree
 
 __all__ = [
     "KDTree",
     "emst",
     "EMSTResult",
+    "KNNArtifact",
+    "knn_graph",
     "core_distances",
     "sq_dist_block",
     "dist_block",

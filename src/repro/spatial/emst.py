@@ -46,7 +46,44 @@ from ..parallel.unionfind import UnionFind
 from .distances import sq_dist_block
 from .kdtree import KDTree
 
-__all__ = ["EMSTResult", "emst", "core_distances"]
+__all__ = ["EMSTResult", "KNNArtifact", "emst", "core_distances", "knn_graph"]
+
+
+@dataclass(frozen=True)
+class KNNArtifact:
+    """Reusable spatial-search products: kd-tree plus a kNN table.
+
+    The engine's batched multi-``mpts`` HDBSCAN computes this once with
+    ``k = max`` over the batch and hands it to every :func:`emst` call;
+    because kNN rows are sorted ascending, slicing the first ``k'`` columns
+    reproduces a direct ``k'``-column query bit-for-bit (ties aside), so
+    sharing the artifact leaves each per-``mpts`` result identical to an
+    unshared run.  Treat all fields as immutable.
+    """
+
+    tree: KDTree
+    dists: np.ndarray        # (n, k) distances, rows ascending
+    ids: np.ndarray          # (n, k) neighbor ids
+
+    @property
+    def n_points(self) -> int:
+        return int(self.ids.shape[0])
+
+    @property
+    def k(self) -> int:
+        return int(self.ids.shape[1])
+
+
+def knn_graph(
+    points: np.ndarray, k: int, leaf_size: int = 96, tree: KDTree | None = None
+) -> KNNArtifact:
+    """Build the shared kNN artifact: kd-tree + ``k``-column self-query."""
+    points = np.ascontiguousarray(points, dtype=np.float64)
+    if tree is None:
+        tree = KDTree.build(points, leaf_size=leaf_size)
+    k = min(k, tree.n_points)
+    dists, ids = tree.query_knn(points, k)
+    return KNNArtifact(tree=tree, dists=dists, ids=ids)
 
 
 @dataclass
@@ -93,6 +130,7 @@ def emst(
     mpts: int = 1,
     leaf_size: int = 96,
     seed_k: int = 8,
+    knn: KNNArtifact | None = None,
 ) -> EMSTResult:
     """Exact MST of a point cloud under Euclidean or mutual reachability.
 
@@ -107,6 +145,13 @@ def emst(
     seed_k:
         Number of kNN columns retained for candidate seeding (at least
         ``mpts``).
+    knn:
+        Optional precomputed :class:`KNNArtifact` over the *same* points
+        (same ``leaf_size``) with at least ``max(mpts, min(seed_k, n))``
+        columns.  Skips the kd-tree build and the kNN self-query -- the
+        engine's batched multi-``mpts`` path shares one artifact across the
+        batch; the columns actually used are sliced to exactly what an
+        unshared run would compute.
 
     Returns
     -------
@@ -121,9 +166,27 @@ def emst(
         return EMSTResult(z.astype(np.int64), z.astype(np.int64), z,
                           np.zeros(1), 0, 0)
 
-    tree = KDTree.build(points, leaf_size=leaf_size)
     k_seed = max(mpts, min(seed_k, n))
-    core, knn_d, knn_i = core_distances(points, mpts, tree, k_extra=k_seed - mpts)
+    if knn is None:
+        tree = KDTree.build(points, leaf_size=leaf_size)
+        core, knn_d, knn_i = core_distances(
+            points, mpts, tree, k_extra=k_seed - mpts
+        )
+    else:
+        if knn.n_points != n:
+            raise ValueError(
+                f"knn artifact covers {knn.n_points} points, need {n}"
+            )
+        k_use = min(k_seed, n)
+        if knn.k < k_use:
+            raise ValueError(
+                f"knn artifact has {knn.k} columns, need >= {k_use}"
+            )
+        tree = knn.tree
+        knn_d = knn.dists[:, :k_use]
+        knn_i = knn.ids[:, :k_use]
+        col = min(mpts, n) - 1
+        core = knn.dists[:, col] if col > 0 else np.zeros(n)
     core2 = core * core
     knn_d2 = knn_d * knn_d
 
