@@ -15,7 +15,6 @@ decade (1e4-1e5).
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from conftest import scaled

@@ -28,7 +28,6 @@ from __future__ import annotations
 
 import json
 import os
-import time
 
 import numpy as np
 

@@ -10,7 +10,6 @@ every GPU-shaped figure in the benchmark suite (see DESIGN.md).
 Run:  python examples/device_model.py
 """
 
-import numpy as np
 
 from repro import pandora
 from repro.data import load_dataset

@@ -18,7 +18,6 @@ from repro import dendrogram_bottomup, pandora
 from repro.data import ngsim_like
 from repro.hdbscan import hdbscan
 from repro.perf import mpoints_per_sec
-from repro.spatial import emst
 
 
 def main() -> None:

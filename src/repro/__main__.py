@@ -15,15 +15,19 @@ Commands
 ``datasets``   list the Table-2 dataset registry.
 ``devices``    show the calibrated device models, price a synthetic trace,
                and list the registered execution backends with their
-               availability in this environment; ``--explain-sort`` adds
-               the sort-engine strategy each pipeline sort site selects
-               at ``--n`` (see ``repro.parallel.sortlib``).
+               availability and GIL capability (whether kernels release
+               the GIL -- what the engine keys its serving-pool width on)
+               in this environment; ``--explain-sort`` adds the
+               sort-engine strategy each pipeline sort site selects at
+               ``--n`` (see ``repro.parallel.sortlib``).
 
 Global options
 --------------
 ``--backend NAME``  select the execution backend for the command (registry
-                    names: ``numpy`` [default], ``numba`` [requires the
-                    optional numba dependency], ``numba-python`` [the numba
+                    names: ``numpy`` [default], ``numba`` and
+                    ``numba-parallel`` [require the optional numba
+                    dependency; the latter's kernels release the GIL],
+                    ``numba-python`` / ``numba-parallel-python`` [the
                     kernels interpreted, for parity debugging]).  The
                     ``REPRO_BACKEND`` environment variable sets the same
                     default process-wide; the flag wins.
@@ -187,15 +191,25 @@ def cmd_devices(args: argparse.Namespace) -> int:
         rows, title="Calibrated device models (synthetic PANDORA-shaped trace)",
     ))
 
+    from .parallel import use_backend
+
     active = get_backend().name
-    backend_rows = [
-        [name, "yes" if ok else "no (missing dependency)",
-         "*" if name == active else ""]
-        for name, ok in available_backends().items()
-    ]
+    backend_rows = []
+    for name, ok in available_backends().items():
+        if ok:
+            with use_backend(name) as b:
+                gil = "releases" if b.releases_gil else "holds"
+        else:
+            gil = "-"
+        backend_rows.append([
+            name, "yes" if ok else "no (missing dependency)", gil,
+            "*" if name == active else "",
+        ])
     print(render_table(
-        ["backend", "available", "active"],
-        backend_rows, title="Registered execution backends",
+        ["backend", "available", "gil", "active"],
+        backend_rows, title="Registered execution backends "
+                            "(gil: whether kernels release the GIL, the "
+                            "serving-parallelism capability)",
     ))
 
     if args.explain_sort:

@@ -22,7 +22,12 @@ pipeline:
   the debug-checks setting propagate to workers, while anything a job sets
   stays local to that job.  Inherited cost-model tracking is suspended per
   job (``untracked``) because CostModel instances are not thread-safe; a
-  job opens its own ``tracking`` block when it wants a trace.
+  job opens its own ``tracking`` block when it wants a trace.  The default
+  worker count is keyed on the active backend's
+  :attr:`~repro.parallel.backend.Backend.releases_gil` capability: a
+  GIL-releasing backend (``numba-parallel``) gets one worker per core --
+  kernels genuinely overlap -- while a GIL-holding backend gets a small
+  pool that can only overlap NumPy-internal unlocked stretches.
 
 Everything the engine returns obeys the library-wide determinism contract:
 a handle's parent array is bit-identical to a direct ``pandora()`` call on
@@ -32,6 +37,7 @@ the same input, whichever backend or index-dtype regime is active.
 from __future__ import annotations
 
 import contextvars
+import os
 import time
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
@@ -322,6 +328,21 @@ class Engine:
             return results
 
     # -- serving path ------------------------------------------------------
+    @staticmethod
+    def default_workers(backend: Backend) -> int:
+        """Default serving-pool width for ``backend`` (the
+        ``releases_gil`` heuristic).
+
+        A GIL-releasing backend scales to one worker per core because its
+        kernels execute concurrently; a GIL-holding backend is capped at a
+        few workers -- beyond that, threads only contend for the
+        interpreter while overlapping the stretches NumPy itself unlocks.
+        """
+        cpus = os.cpu_count() or 1
+        if backend.releases_gil:
+            return max(1, min(32, cpus))
+        return max(1, min(4, cpus))
+
     def map(
         self,
         fn: Callable[..., Any],
@@ -335,10 +356,15 @@ class Engine:
         pools remain per-thread by construction), with inherited cost-model
         tracking suspended -- see the module docstring.  Results are
         returned in submission order; the first job exception propagates.
+        ``max_workers=None`` applies :meth:`default_workers` to the
+        engine's (or context's) active backend.
         """
         items = list(items)
         if not items:
             return []
+        if max_workers is None:
+            with self._scope() as backend:
+                max_workers = self.default_workers(backend)
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
             futures = [
                 pool.submit(

@@ -151,28 +151,28 @@ def condense_tree(dendrogram: Dendrogram, min_cluster_size: int) -> CondensedTre
     while queue:
         cur, c = queue.pop()
         while True:
-            l = float(lam[cur])
+            lam_c = float(lam[cur])
             ca, cb = int(child_a[cur]), int(child_b[cur])
             sa, sb = size_of(ca), size_of(cb)
             if sa >= m and sb >= m:
-                death_lambda[c] = l
+                death_lambda[c] = lam_c
                 for ch, s in ((ca, sa), (cb, sb)):
                     cid = len(cluster_parent)
                     cluster_parent.append(c)
-                    birth_lambda.append(l)
-                    death_lambda.append(l)  # updated when it dies
+                    birth_lambda.append(lam_c)
+                    death_lambda.append(lam_c)  # updated when it dies
                     cluster_size.append(s)
                     queue.append((ch, cid))
                 break
             if sa >= m or sb >= m:
                 small, big = (cb, ca) if sa >= m else (ca, cb)
-                fall_out(small, c, l)
+                fall_out(small, c, lam_c)
                 cur = big  # size >= m >= 2, necessarily an edge node
                 continue
             # both sides below m: the cluster dissolves here
-            fall_out(ca, c, l)
-            fall_out(cb, c, l)
-            death_lambda[c] = l
+            fall_out(ca, c, lam_c)
+            fall_out(cb, c, lam_c)
+            death_lambda[c] = lam_c
             break
 
     return CondensedTree(

@@ -4,10 +4,12 @@ This package is the reproduction's substitute for Kokkos: algorithms above it
 are written purely in terms of maps, scans, sorts, gathers and scatters, and
 every such call both executes -- on the active pluggable
 :class:`~repro.parallel.backend.Backend` (``numpy`` reference kernels by
-default, JIT-fused loops on the optional ``numba`` backend) -- and is
-accounted in the active :class:`~repro.parallel.machine.CostModel` so runs
-can be re-priced on calibrated CPU/GPU device specs.  The kernel trace is
-backend-invariant by contract.
+default, JIT-fused loops on the optional ``numba`` backend, nogil + prange
+loops on ``numba-parallel``, the serving backend whose
+``Backend.releases_gil`` capability lets the engine's thread pool scale) --
+and is accounted in the active :class:`~repro.parallel.machine.CostModel`
+so runs can be re-priced on calibrated CPU/GPU device specs.  The kernel
+trace is backend-invariant by contract.
 """
 
 from .backend import (

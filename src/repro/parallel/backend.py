@@ -28,6 +28,18 @@ Backends
     The same fused-kernel definitions executed by the plain interpreter
     (no JIT).  Slow, but always available: the backend-parity test suite
     uses it to validate the numba kernels in environments without numba.
+``numba-parallel``
+    :class:`~repro.parallel.backend_numba_parallel.NumbaParallelBackend`,
+    the serving backend: every fused kernel compiled ``nogil=True`` (so
+    concurrent ``Engine.map``/``fit_many`` jobs run kernels truly in
+    parallel across threads) and the data-parallel ones
+    ``parallel=True``/``prange`` (round-synchronous pointer doubling,
+    chunked pool compaction, elementwise key builds, and a
+    parallel-histogram realization of the sortlib LSD radix).  Declares
+    :attr:`Backend.releases_gil`; available only when numba imports.
+``numba-parallel-python``
+    The parallel kernel definitions interpreted (``prange`` as ``range``)
+    -- the always-available parity twin, like ``numba-python``.
 
 Selection
 ---------
@@ -105,6 +117,16 @@ class Backend:
 
     #: Registry name; informational on unregistered instances.
     name: str = "abstract"
+
+    #: Capability flag (the serving-parallelism contract): ``True`` when
+    #: this backend's kernels release the GIL (or run on a device stream),
+    #: so threads genuinely overlap kernel execution.  The engine keys its
+    #: default ``max_workers`` on it: GIL-holding backends get a small pool
+    #: (workers only overlap NumPy-internal unlocked stretches),
+    #: GIL-releasing ones get one worker per core.  Backends set it as an
+    #: instance attribute when capability depends on construction (the
+    #: interpreted parity twins never release the GIL).
+    releases_gil: bool = False
 
     def __init__(self) -> None:
         # Per-thread scratch pools (see module docstring): the instance is a
@@ -699,5 +721,20 @@ def _make_numba_python() -> Backend:
     return NumbaBackend(jit=False)
 
 
+def _make_numba_parallel() -> Backend:
+    from .backend_numba_parallel import NumbaParallelBackend
+
+    return NumbaParallelBackend()
+
+
+def _make_numba_parallel_python() -> Backend:
+    from .backend_numba_parallel import NumbaParallelBackend
+
+    return NumbaParallelBackend(jit=False)
+
+
 register_backend("numba", _make_numba, available=_numba_importable)
 register_backend("numba-python", _make_numba_python)
+register_backend("numba-parallel", _make_numba_parallel,
+                 available=_numba_importable)
+register_backend("numba-parallel-python", _make_numba_parallel_python)

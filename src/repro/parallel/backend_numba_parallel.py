@@ -1,0 +1,421 @@
+"""Numba parallel backend: nogil fused kernels so serving threads scale.
+
+The engine's thread-pool serving path (PR 4) is gated for correctness only:
+NumPy kernels at reproduction scale are largely GIL-serialized, so
+``Engine.fit_many`` cannot beat the serial loop no matter how many workers
+it spawns.  This backend is the step that makes the ROADMAP's serving story
+measurably true on multi-core CPUs, mirroring how ParChain realizes the
+same chain-based phase structure with CPU parallelism: every fused kernel
+is compiled ``nogil=True`` so N concurrent jobs run kernels truly in
+parallel across threads, and the data-parallel kernels additionally use
+``parallel=True``/``prange`` so a *single* job can spread one kernel over
+cores.
+
+Overrides (everything else inherits the numba/NumPy realization):
+
+* :meth:`NumbaParallelBackend.resolve_pointer_forest` -- round-synchronous
+  pointer doubling: a ``prange`` gather pass (reads ``ptr``, writes ``buf``,
+  change count via a scalar reduction) followed by a ``prange`` copy-back.
+  Deterministic because every round reads only the previous round's array.
+* :meth:`NumbaParallelBackend.expand_pool_partition` -- chunked two-pass
+  stream compaction: per-chunk survivor counts in ``prange``, one
+  sequential exclusive scan over the chunk offsets, then a ``prange`` write
+  pass in which every chunk owns a disjoint output range.  Order-preserving
+  regardless of chunk boundaries, hence bit-identical to the sequential
+  kernel.
+* :meth:`NumbaParallelBackend.canonical_sort_order` /
+  :meth:`NumbaParallelBackend.argsort_bounded` -- the sortlib LSD radix
+  realized as a JIT parallel-histogram counting sort (digit-column
+  extraction fused into the passes): per-chunk histograms in ``prange``,
+  one exclusive scan over ``(digit, chunk)``, then a stable scatter where
+  every chunk increments only its own offset row.  Planning (key encoding,
+  varying-bit-mask narrowing, digit windows) is sortlib's
+  (:func:`~repro.parallel.sortlib.runtime_mask`,
+  :func:`~repro.parallel.sortlib.pass_windows`), so strategy selection and
+  the emitted records are byte-for-byte the shared engine's.
+* ``chain_sort_keys`` and the canonical sort's u64 weight-key build run as
+  elementwise ``prange`` loops.
+
+The scatter kernels (``scatter_max_ordered``, ``scatter_max_pairs``) stay
+sequential *inside* a ``nogil=True`` compile: their last-write-wins /
+atomic-max semantics have no race-free CPU ``prange`` realization without
+atomic intrinsics (numba exposes none on CPU), and a racy loop would break
+the bit-identical backend contract.  Dropping the GIL is what the serving
+path needs from them -- concurrent jobs overlap these kernels across
+threads even though each executes on one core.
+
+Determinism is the contract: every kernel here admits exactly one output
+(stable counting passes, round-synchronous jumps, chunk-owned output
+ranges), so ``numba-parallel`` produces bit-identical parent arrays and
+identical :class:`~repro.parallel.machine.KernelRecord` traces to the
+``numpy`` backend in both index-dtype regimes -- ``tests/test_backends.py``
+and the 8-thread ``tests/test_concurrency.py`` suite enforce it.
+
+Registry: ``numba-parallel`` (available only when numba imports) and
+``numba-parallel-python`` (the same kernel definitions interpreted, with
+``prange`` falling back to ``range`` -- the always-available parity twin,
+matching the ``numba-python`` precedent).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from . import sortlib
+from .backend_numba import (
+    _EMPTY_KEEP,
+    _EXP,
+    _FULL,
+    _NOSIGN,
+    _PY_KERNELS,
+    _SIGN,
+    _ZERO,
+    NumbaBackend,
+)
+from .workspace import hotpath_config
+
+try:  # pragma: no cover - exercised via both registry entries
+    from numba import prange
+except ImportError:  # interpreted parity mode: a prange loop is a range loop
+    prange = range
+
+__all__ = ["NumbaParallelBackend"]
+
+#: Work-unit sizing for the chunked kernels.  Chunk boundaries are derived
+#: from ``n`` alone and outputs are chunk-order-preserving, so results never
+#: depend on thread count or scheduling; the cap bounds histogram scratch
+#: (``chunks * 65536`` int64 for a 16-bit digit pass).
+_CHUNK_MIN = 32_768
+_MAX_CHUNKS = 16
+
+
+def _n_chunks(n: int) -> int:
+    return min(_MAX_CHUNKS, max(1, n // _CHUNK_MIN))
+
+
+# ---------------------------------------------------------------------------
+# Kernel definitions.  Plain nopython-compatible functions, exactly like
+# ``backend_numba``: wrapped with ``numba.njit(nogil=True[, parallel=True])``
+# when jitting, executed by the interpreter (prange == range) otherwise.
+# ---------------------------------------------------------------------------
+
+
+def _k_pointer_double_par(ptr, buf):
+    """Round-synchronous pointer doubling; returns the round count.
+
+    Each round gathers grandparents into ``buf`` (reads only ``ptr``) with
+    the change count as a ``prange`` scalar reduction, then copies back.
+    Identical rounds and fixed point to the sequential kernel -- the jump
+    is a function of the previous round's array alone.
+    """
+    n = ptr.size
+    rounds = 0
+    while True:
+        rounds += 1
+        changed = 0
+        for i in prange(n):
+            g = ptr[ptr[i]]
+            if g != ptr[i]:
+                changed += 1
+            buf[i] = g
+        if changed == 0:
+            return rounds
+        for i in prange(n):
+            ptr[i] = buf[i]
+
+
+def _k_pool_partition_par(
+    pool_idx, pool_vert, keep, use_keep, vmap,
+    level_idx, level_u, non_alpha, nxt_idx, nxt_vert,
+    n_chunks, chunk_base,
+):
+    """Chunked two-pass pool compaction + relabel + contracted append.
+
+    ``chunk_base`` is ``2 * n_chunks`` int64 scratch: survivor counts per
+    pool chunk followed by non-alpha counts per level chunk, scanned in
+    place into write offsets.  Every chunk writes a disjoint output range
+    in input order, so the result equals the sequential kernel's exactly.
+    """
+    np_pool = pool_idx.size
+    np_lvl = level_idx.size
+    pool_chunk = (np_pool + n_chunks - 1) // n_chunks
+    lvl_chunk = (np_lvl + n_chunks - 1) // n_chunks
+
+    for c in prange(n_chunks):
+        lo = c * pool_chunk
+        hi = min(lo + pool_chunk, np_pool)
+        cnt = 0
+        for i in range(lo, hi):
+            if (not use_keep) or keep[i]:
+                cnt += 1
+        chunk_base[c] = cnt
+        lo = c * lvl_chunk
+        hi = min(lo + lvl_chunk, np_lvl)
+        cnt = 0
+        for e in range(lo, hi):
+            if non_alpha[e]:
+                cnt += 1
+        chunk_base[n_chunks + c] = cnt
+
+    # Exclusive scan: pool chunks first (survivors precede contracted edges).
+    run = 0
+    for c in range(2 * n_chunks):
+        t = chunk_base[c]
+        chunk_base[c] = run
+        run += t
+
+    for c in prange(n_chunks):
+        lo = c * pool_chunk
+        hi = min(lo + pool_chunk, np_pool)
+        k = chunk_base[c]
+        for i in range(lo, hi):
+            if (not use_keep) or keep[i]:
+                nxt_idx[k] = pool_idx[i]
+                nxt_vert[k] = vmap[pool_vert[i]]
+                k += 1
+        lo = c * lvl_chunk
+        hi = min(lo + lvl_chunk, np_lvl)
+        k = chunk_base[n_chunks + c]
+        for e in range(lo, hi):
+            if non_alpha[e]:
+                nxt_idx[k] = level_idx[e]
+                nxt_vert[k] = vmap[level_u[e]]
+                k += 1
+    return run
+
+
+def _k_chain_keys_par(anchor, side, out):
+    """Elementwise chain-sort key build (root chain -> -1), in prange."""
+    for i in prange(anchor.size):
+        a = anchor[i]
+        if a < 0:
+            out[i] = -1
+        else:
+            out[i] = 2 * a + side[i]
+
+
+def _k_weight_keys_par(bits, out):
+    """Elementwise monotone float64-bits -> descending u64 key, in prange.
+
+    Same transform and special-value policy as the sequential
+    ``_k_weight_keys`` (and ``sortlib.encode_weights_descending``), byte
+    for byte.
+    """
+    for i in prange(bits.size):
+        b = bits[i]
+        if (b & _NOSIGN) > _EXP:  # NaN: one shared maximal key
+            out[i] = _FULL
+        else:
+            if b == _SIGN:  # -0.0 keys equal to +0.0
+                b = _ZERO
+            if b & _SIGN:
+                m = b ^ _FULL
+            else:
+                m = b | _SIGN
+            out[i] = m ^ _FULL
+
+
+def _k_radix_count(keys, perm, use_perm, shift, dmask, counts, n_chunks):
+    """Per-chunk digit histograms (digit extraction fused into the pass).
+
+    ``counts`` is a zeroed flat ``(n_chunks, dmask + 1)`` int64 matrix;
+    chunk ``c`` writes only its own row, so the prange is race-free.
+    """
+    n = keys.size
+    chunk = (n + n_chunks - 1) // n_chunks
+    nbins = np.int64(dmask) + 1
+    for c in prange(n_chunks):
+        lo = c * chunk
+        hi = min(lo + chunk, n)
+        base = c * nbins
+        for i in range(lo, hi):
+            src = i
+            if use_perm:
+                src = perm[i]
+            d = np.int64((np.uint64(keys[src]) >> shift) & dmask)
+            counts[base + d] += 1
+
+
+def _k_radix_scan(counts, n_chunks, nbins):
+    """Exclusive scan of the histograms in ``(digit, chunk)`` order.
+
+    Turns counts into the exact stable output offset of each chunk's first
+    element of each digit; sequential (65536 * chunks steps at most).
+    """
+    run = 0
+    for d in range(nbins):
+        for c in range(n_chunks):
+            idx = c * nbins + d
+            t = counts[idx]
+            counts[idx] = run
+            run += t
+
+
+def _k_radix_scatter(keys, perm, use_perm, shift, dmask, counts, n_chunks, out):
+    """Stable scatter to the scanned offsets; one pass of the LSD radix.
+
+    Chunk ``c`` replays its elements in order, bumping only its own offset
+    row -- positions are globally disjoint by construction, so the prange
+    is race-free and the output is the unique stable counting-sort order.
+    """
+    n = keys.size
+    chunk = (n + n_chunks - 1) // n_chunks
+    nbins = np.int64(dmask) + 1
+    for c in prange(n_chunks):
+        lo = c * chunk
+        hi = min(lo + chunk, n)
+        base = c * nbins
+        for i in range(lo, hi):
+            src = i
+            if use_perm:
+                src = perm[i]
+            d = np.int64((np.uint64(keys[src]) >> shift) & dmask)
+            pos = counts[base + d]
+            counts[base + d] = pos + 1
+            out[pos] = src
+
+
+#: prange kernels (compiled ``parallel=True``) vs sequential-but-nogil ones.
+_PY_PAR_KERNELS = {
+    "pointer_double": _k_pointer_double_par,
+    "pool_partition_par": _k_pool_partition_par,
+    "chain_keys": _k_chain_keys_par,
+    "weight_keys": _k_weight_keys_par,
+    "radix_count": _k_radix_count,
+    "radix_scatter": _k_radix_scatter,
+}
+_PY_SEQ_KERNELS = {
+    "scatter_last": _PY_KERNELS["scatter_last"],
+    "scatter_max": _PY_KERNELS["scatter_max"],
+    "scatter_max_pairs": _PY_KERNELS["scatter_max_pairs"],
+    "radix_scan": _k_radix_scan,
+}
+
+
+@lru_cache(maxsize=1)
+def _jit_kernels_parallel() -> dict:
+    """Compile the kernel set nogil (+parallel for the prange kernels)."""
+    import numba
+
+    out = {
+        name: numba.njit(cache=True, nogil=True)(fn)
+        for name, fn in _PY_SEQ_KERNELS.items()
+    }
+    out.update({
+        name: numba.njit(cache=True, nogil=True, parallel=True)(fn)
+        for name, fn in _PY_PAR_KERNELS.items()
+    })
+    return out
+
+
+class NumbaParallelBackend(NumbaBackend):
+    """nogil + prange backend; ``jit=False`` runs the kernels interpreted."""
+
+    name = "numba-parallel"
+
+    def __init__(self, jit: bool = True) -> None:
+        super().__init__(jit=jit)
+        if not jit:
+            self.name = "numba-parallel-python"
+        # Only the compiled kernels actually drop the GIL; the interpreted
+        # parity twin is a correctness tool like ``numba-python``.
+        self.releases_gil = jit
+        self._k = (_jit_kernels_parallel() if jit
+                   else {**_PY_KERNELS, **_PY_SEQ_KERNELS, **_PY_PAR_KERNELS})
+
+    # -- fused overrides ---------------------------------------------------
+    def expand_pool_partition(
+        self, pool_idx, pool_vert, keep, vmap,
+        level_idx, level_u, non_alpha, n_contracted,
+        nxt_idx, nxt_vert, name: str | None = "expand.pool_relabel",
+    ) -> int:
+        n_chunks = _n_chunks(int(pool_idx.size) + int(level_idx.size))
+        chunk_base = self.take("parpool.chunk_base", 2 * n_chunks, np.int64)
+        k = int(self._k["pool_partition_par"](
+            pool_idx, pool_vert,
+            keep if keep is not None else _EMPTY_KEEP,
+            keep is not None, vmap,
+            level_idx, level_u, non_alpha, nxt_idx, nxt_vert,
+            n_chunks, chunk_base,
+        ))
+        self._emit(name, "gather", k)
+        return k
+
+    # -- parallel-histogram LSD radix (sortlib plans, JIT passes) ----------
+    def _argsort_unsigned(self, keys: np.ndarray) -> np.ndarray:
+        """Stable ascending argsort of unsigned keys, parallel realization.
+
+        Mirrors ``sortlib.stable_argsort_unsigned`` strategy for strategy
+        (comparison sort below ``RADIX_MIN_N``, identity on constant keys,
+        mask-narrowed windows otherwise); any stable realization of the
+        same windows produces the identical permutation.
+        """
+        n = int(keys.size)
+        if n < sortlib.RADIX_MIN_N:
+            return np.argsort(keys, kind="stable")
+        windows = sortlib.pass_windows(sortlib.runtime_mask(keys))
+        if not windows:
+            return np.arange(n, dtype=np.intp)
+        ping = self.take("parradix.perm0", n, np.intp)
+        pong = self.take("parradix.perm1", n, np.intp)
+        cur, use_perm = ping, False  # unread on the first pass: type only
+        last = len(windows) - 1
+        for j, (shift, width) in enumerate(windows):
+            nbins = 1 << width
+            dmask = np.uint64(nbins - 1)
+            counts = self.take("parradix.counts", _n_chunks(n) * nbins,
+                               np.int64)
+            counts[:] = 0
+            if j == last:
+                out = np.empty(n, dtype=np.intp)  # result must be owned
+            else:
+                out = pong if cur is ping else ping
+            self._k["radix_count"](keys, cur, use_perm, np.uint64(shift),
+                                   dmask, counts, _n_chunks(n))
+            self._k["radix_scan"](counts, _n_chunks(n), nbins)
+            self._k["radix_scatter"](keys, cur, use_perm, np.uint64(shift),
+                                     dmask, counts, _n_chunks(n), out)
+            cur, use_perm = out, True
+        return cur
+
+    def canonical_sort_order(
+        self, weights, ids, name: str | None = "edges.sort_desc"
+    ) -> np.ndarray:
+        n = int(weights.size)
+        self._emit(name, "sort", n)
+        if not hotpath_config().radix_sort:
+            # Reference realization: the two-key lexsort.
+            return np.lexsort((ids, -weights))
+        w = np.ascontiguousarray(weights, dtype=np.float64)
+        key = self.take("backend.sort_key", n, np.uint64)
+        self._k["weight_keys"](w.view(np.uint64), key)
+        return self._argsort_unsigned(key)
+
+    def argsort_bounded(
+        self, keys, min_key: int, max_key: int,
+        name: str | None = "argsort",
+    ) -> np.ndarray:
+        self._emit(name, "sort", keys.size)
+        if not hotpath_config().radix_sort or keys.size < sortlib.RADIX_MIN_N:
+            return np.argsort(keys, kind="stable")
+        biased = sortlib.bias_bounded_keys(keys, min_key, max_key,
+                                           workspace=self.workspace)
+        return self._argsort_unsigned(biased)
+
+    def warmup(self) -> None:
+        """Compile (or touch) every kernel, including the radix passes.
+
+        The inherited warmup covers the shared kernel names; the radix
+        signatures (one per key dtype) need above-threshold inputs, so the
+        u64 canonical path and the u16/u32 bounded paths are each driven
+        once at ``RADIX_MIN_N`` elements.
+        """
+        super().warmup()
+        n = sortlib.RADIX_MIN_N
+        w = np.linspace(1.0, 0.0, n)
+        self.canonical_sort_order(w, np.arange(n, dtype=np.int64))
+        small = np.arange(n, dtype=np.int64) % 7
+        self.argsort_bounded(small, 0, 2 * n + 1)          # u16 biased keys
+        self.argsort_bounded(small, 0, 0xFFFF_FFFF)        # u32 biased keys

@@ -53,6 +53,17 @@ the same stable total order bit-identically, and the narrowing/pass
 structure lives *inside* the one kernel record the calling vocabulary
 method emits (the trace records the logical parallel schedule, not the
 realization).
+
+**Where parallel realizations plug in.**  The planning layer
+(:func:`runtime_mask`, :func:`pass_windows`, :func:`bias_bounded_keys`) is
+public precisely so a backend can keep the engine's strategy selection and
+swap only the per-pass execution: the ``numba-parallel`` backend runs the
+same mask-narrowed windows through a JIT parallel-histogram counting sort
+(chunk-local histograms, one exclusive scan over ``(digit, chunk)``, then a
+race-free stable scatter -- see
+:mod:`repro.parallel.backend_numba_parallel`), which is deterministic and
+bit-identical to the NumPy realization because stable LSD passes admit
+exactly one output order.
 """
 
 from __future__ import annotations
@@ -69,6 +80,9 @@ __all__ = [
     "plan_unsigned",
     "plan_bounded",
     "varying_bit_mask",
+    "runtime_mask",
+    "pass_windows",
+    "bias_bounded_keys",
     "encode_weights_descending",
     "stable_argsort_unsigned",
     "stable_argsort_bounded",
@@ -178,7 +192,7 @@ class SortPlan:
         return self.strategy
 
 
-def _pass_windows(mask: int) -> tuple[tuple[int, int], ...]:
+def pass_windows(mask: int) -> tuple[tuple[int, int], ...]:
     """Greedy digit windows covering every set bit of ``mask``, LSB first.
 
     Constant bit positions (clear in ``mask``) cannot affect the order, so
@@ -215,11 +229,11 @@ def varying_bit_mask(keys: np.ndarray) -> int:
     return int(np.bitwise_or.reduce(keys ^ keys[0]))
 
 
-#: Sample stride for the cheap pre-check in :func:`_runtime_mask`.
+#: Sample stride for the cheap pre-check in :func:`runtime_mask`.
 _MASK_SAMPLE_STRIDE = 257
 
 
-def _runtime_mask(keys: np.ndarray) -> int:
+def runtime_mask(keys: np.ndarray) -> int:
     """Varying-bit mask, skipping the full scan when it provably cannot pay.
 
     A strided sample's mask is a subset of the true mask; if the sample
@@ -232,7 +246,7 @@ def _runtime_mask(keys: np.ndarray) -> int:
     sample = int(np.bitwise_or.reduce(
         keys[::_MASK_SAMPLE_STRIDE] ^ keys[0]
     ))
-    if _pass_windows(sample) == _pass_windows(full_width):
+    if pass_windows(sample) == pass_windows(full_width):
         return full_width
     return varying_bit_mask(keys)
 
@@ -248,7 +262,7 @@ def plan_unsigned(n: int, key_bits: int, mask: int | None = None) -> SortPlan:
         mask = (1 << key_bits) - 1
     if n < RADIX_MIN_N:
         return SortPlan(n, key_bits, "argsort")
-    windows = _pass_windows(mask)
+    windows = pass_windows(mask)
     if not windows:
         return SortPlan(n, key_bits, "identity")
     return SortPlan(n, key_bits, "radix", windows)
@@ -284,7 +298,7 @@ def _digit_column(keys: np.ndarray, shift: int, width: int,
                   ws, slot: str) -> np.ndarray:
     """Contiguous copy of the ``(shift, width)`` digit of every key.
 
-    Windows are width-aligned (see :func:`_pass_windows`), so on a
+    Windows are width-aligned (see :func:`pass_windows`), so on a
     little-endian layout the digit is a strided *column* of the key bytes:
     one narrow copy replaces the gather + shift + truncate chain.  The
     big-endian fallback shifts and truncates instead.
@@ -321,8 +335,8 @@ def stable_argsort_unsigned(
     if n < RADIX_MIN_N:
         return np.argsort(keys, kind="stable")
     if mask is None:
-        mask = _runtime_mask(keys)
-    windows = _pass_windows(mask)
+        mask = runtime_mask(keys)
+    windows = pass_windows(mask)
     if not windows:
         return np.arange(n, dtype=np.intp)
 
@@ -354,30 +368,46 @@ def stable_argsort_unsigned(
     return perm
 
 
-def stable_argsort_bounded(
+def bias_bounded_keys(
     keys: np.ndarray, min_key: int, max_key: int, workspace=None
 ) -> np.ndarray:
-    """Stable ascending argsort of integer keys in ``[min_key, max_key]``.
+    """Narrowest unsigned biased view of keys provably in ``[min_key, max_key]``.
 
-    Equivalent to ``np.argsort(keys, kind="stable")`` but O(n + k): the
-    provable bound picks the narrowest unsigned bias dtype (a chain-stitch
-    key bounded by ``2 * n_edges + 1`` becomes a u32 with ~21 varying bits
-    -> one 16-bit plus one 8-bit counting pass), then the radix engine
-    narrows further from the runtime varying-bit mask.
+    The shared front half of every bounded-sort realization: the provable
+    bound picks the narrowest unsigned dtype holding ``max_key - min_key``
+    (a chain-stitch key bounded by ``2 * n_edges + 1`` becomes a u32 with
+    ~21 varying bits), then ``keys - min_key`` is materialized in it --
+    unless the keys already are that exact encoding, which are returned
+    unchanged.  The result may be workspace scratch (slot
+    ``sortlib.biased_keys``): current-call lifetime only.
     """
-    n = int(keys.size)
-    if n < RADIX_MIN_N:
-        return np.argsort(keys, kind="stable")
     span = int(max_key) - int(min_key)
     if span < 0:
         raise ValueError(f"empty key bound [{min_key}, {max_key}]")
     udt = (np.uint16 if span <= 0xFFFF
            else np.uint32 if span <= 0xFFFFFFFF else np.uint64)
     if min_key == 0 and keys.dtype == udt:
-        biased = keys
-    else:
-        biased = _scratch(workspace).take("sortlib.biased_keys", n, udt)
-        np.subtract(keys, min_key, out=biased, casting="unsafe")
+        return keys
+    biased = _scratch(workspace).take("sortlib.biased_keys", keys.size, udt)
+    np.subtract(keys, min_key, out=biased, casting="unsafe")
+    return biased
+
+
+def stable_argsort_bounded(
+    keys: np.ndarray, min_key: int, max_key: int, workspace=None
+) -> np.ndarray:
+    """Stable ascending argsort of integer keys in ``[min_key, max_key]``.
+
+    Equivalent to ``np.argsort(keys, kind="stable")`` but O(n + k): the
+    provable bound picks the narrowest unsigned bias dtype (see
+    :func:`bias_bounded_keys`; one 16-bit plus one 8-bit counting pass for
+    chain-stitch keys), then the radix engine narrows further from the
+    runtime varying-bit mask.
+    """
+    n = int(keys.size)
+    if n < RADIX_MIN_N:
+        return np.argsort(keys, kind="stable")
+    biased = bias_bounded_keys(keys, min_key, max_key, workspace=workspace)
     return stable_argsort_unsigned(biased, workspace=workspace)
 
 

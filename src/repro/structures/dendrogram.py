@@ -109,7 +109,6 @@ class Dendrogram:
         how a GPU would compute it.
         """
         if self._depths is None:
-            n = self.n_nodes
             ptr = self.parent.copy()
             depth = (ptr >= 0).astype(np.int64)
             roots = ptr < 0

@@ -17,7 +17,6 @@ import pytest
 from backend_fixtures import backend_params
 from repro import pandora
 from repro.parallel import (
-    Backend,
     BackendUnavailable,
     CostModel,
     NumpyBackend,
@@ -59,6 +58,8 @@ class TestRegistry:
         assert "numpy" in names
         assert "numba" in names
         assert "numba-python" in names
+        assert "numba-parallel" in names
+        assert "numba-parallel-python" in names
 
     def test_numpy_always_available_and_default(self):
         assert backend_available("numpy")
@@ -210,9 +211,12 @@ class TestBackendParity:
 
 
 def _numba_instances() -> list:
-    out = [NumbaBackend(jit=False)]
+    from repro.parallel.backend_numba_parallel import NumbaParallelBackend
+
+    out = [NumbaBackend(jit=False), NumbaParallelBackend(jit=False)]
     if numba_available():
         out.append(NumbaBackend())
+        out.append(NumbaParallelBackend())
     return out
 
 

@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
 import pytest
 
 from repro import pandora

@@ -8,7 +8,7 @@ import scipy.cluster.hierarchy as sch
 from scipy.spatial.distance import pdist, squareform
 
 from repro import dendrogram_bottomup
-from repro.structures import EDGE_ALPHA, EDGE_CHAIN, EDGE_LEAF
+from repro.structures import EDGE_ALPHA, EDGE_LEAF
 from repro.structures.tree import random_spanning_tree
 
 

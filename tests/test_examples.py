@@ -4,7 +4,6 @@ where needed -- the scripts themselves stay user-scale)."""
 from __future__ import annotations
 
 import runpy
-import sys
 from pathlib import Path
 
 import pytest

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core.contraction import contract_multilevel
 from repro.core.expansion import ChainAssignment, assign_chains, stitch_chains

@@ -9,7 +9,6 @@ from repro import dendrogram_bottomup
 from repro.data import blobs
 from repro.hdbscan import (
     condense_tree,
-    extract_labels,
     hdbscan,
     select_clusters,
 )

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 import scipy.cluster.hierarchy as sch
 from scipy.spatial.distance import pdist
 

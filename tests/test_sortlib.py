@@ -29,7 +29,6 @@ from repro.parallel import (
     tracking,
     use_backend,
 )
-from repro.parallel import sortlib
 from repro.parallel.primitives import argsort_bounded
 from repro.parallel.sortlib import (
     RADIX_MIN_N,

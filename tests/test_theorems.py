@@ -10,7 +10,6 @@ construction (Theorem 4).
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro import dendrogram_bottomup, pandora
 from repro.core.contraction import contract_multilevel
