@@ -24,6 +24,15 @@ Correctness is gated unconditionally before any timing: every
 ``fit_many`` handle must be bit-identical to the serial ``pandora()``
 parents, at every worker count.
 
+A second, backend-independent bar guards the resilience layer (PR 6):
+running the same 4-worker batch under a default :class:`ServePolicy` --
+envelopes, context snapshots, armed fault hooks, but **no injected
+faults** -- must cost at most ``POLICY_OVERHEAD_GATE`` (3%) over the
+plain raise-first path.  Like the scaling gate it is recorded at every
+size but asserted only at >= ``GATE_MIN_EDGES``, where per-job kernel
+time is large enough that the ratio measures the hooks rather than
+timer noise.
+
 Note on threading layers: with intra-kernel ``prange`` active, concurrent
 parallel regions want numba's ``tbb`` threading layer (the default
 ``workqueue`` is thread-safe but serializes regions across jobs); the CI
@@ -45,6 +54,7 @@ import numpy as np
 from conftest import scaled
 from repro.core.pandora import pandora
 from repro.engine import Engine
+from repro.engine.resilience import ServePolicy
 from repro.parallel import backend_available, debug_checks_set, use_backend
 from repro.structures.tree import random_spanning_tree
 
@@ -62,6 +72,10 @@ SMOKE_GATE = 1.3
 #: dominates, so the ratio measures overhead, not the backend.  The
 #: smoke-scale scaling gate lives in tests/test_serving.py at 60k edges.
 GATE_MIN_EDGES = 50_000
+#: Max allowed slowdown of policy-enabled serving (default ServePolicy,
+#: no faults injected) over the plain raise-first path at 4 workers.
+POLICY_OVERHEAD_GATE = 1.03
+POLICY_WORKERS = 4
 
 _DIR = os.path.dirname(__file__)
 ARTIFACT = os.path.join(_DIR, "BENCH_serving.json")
@@ -90,20 +104,22 @@ def _threading_layer() -> str | None:
         return None
 
 
-def _measure(problems, workers: int, repeats: int, serial_ref) -> dict:
+def _measure(problems, workers: int, repeats: int, serial_ref,
+             policy: ServePolicy | None = None) -> dict:
     samples = []
     for _ in range(repeats):
         # Fresh engine per run: the content cache would otherwise make
         # every repeat free.
         engine = Engine(cache_entries=2 * len(problems))
         t0 = time.perf_counter()
-        handles = engine.fit_many(problems, max_workers=workers)
+        out = engine.fit_many(problems, max_workers=workers, policy=policy)
         samples.append(time.perf_counter() - t0)
+        handles = [r.unwrap() for r in out] if policy is not None else out
         for i, (ref, handle) in enumerate(zip(serial_ref, handles)):
             if not np.array_equal(handle.parent, ref):
                 raise AssertionError(
                     f"fit_many parents differ from serial at job {i}, "
-                    f"workers={workers}"
+                    f"workers={workers}, policy={policy is not None}"
                 )
     best = min(samples)
     return {
@@ -134,6 +150,13 @@ def run_serving_bench(
             w: _measure(problems, w, repeats, serial_ref)
             for w in WORKER_COUNTS
         }
+        # Resilience-overhead column: the same batch under a default
+        # ServePolicy (envelopes + armed hooks, zero injected faults)
+        # against the plain raise-first path, interleaved fresh plain
+        # runs so both sides see the same machine state.
+        policy_runs = _measure(problems, POLICY_WORKERS, repeats,
+                               serial_ref, policy=ServePolicy())
+        plain_runs = _measure(problems, POLICY_WORKERS, repeats, serial_ref)
 
     base = by_workers[WORKER_COUNTS[0]]["jobs_per_second"]
     scaling = {
@@ -144,6 +167,8 @@ def run_serving_bench(
     gate = FULL_GATE if n_edges >= FULL_SIZE else SMOKE_GATE
     gated = (backend_name == "numba-parallel" and cpus >= 4
              and n_edges >= GATE_MIN_EDGES)
+    overhead = (policy_runs["seconds"]["best"]
+                / max(plain_runs["seconds"]["best"], 1e-12))
     report = {
         "bench": "serving",
         "backend": backend_name,
@@ -158,6 +183,16 @@ def run_serving_bench(
         "scaling_vs_1_worker": scaling,
         "parity": True,
         "gate": {"workers": 4, "min_ratio": gate, "asserted": gated},
+        "policy_overhead": {
+            "workers": POLICY_WORKERS,
+            "plain": plain_runs,
+            "policy": policy_runs,
+            "overhead_ratio": round(overhead, 4),
+            "max_ratio": POLICY_OVERHEAD_GATE,
+            # Backend-independent: the hook/envelope cost exists on every
+            # backend, so only the size floor conditions the assertion.
+            "asserted": n_edges >= GATE_MIN_EDGES,
+        },
     }
     with open(artifact, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
@@ -171,6 +206,11 @@ def test_serving_bench():
           f"cpus={report['cpu_count']} layer={report['threading_layer']} "
           f"jobs={report['n_jobs']}x{report['n_edges_per_job']} edges")
     print(f"[serving] scaling_vs_1_worker={report['scaling_vs_1_worker']}")
+    overhead = report["policy_overhead"]
+    print(f"[serving] policy_overhead_ratio={overhead['overhead_ratio']} "
+          f"at {overhead['workers']} workers "
+          f"(gate <= {overhead['max_ratio']}, "
+          f"asserted={overhead['asserted']})")
     full = report["n_edges_per_job"] >= FULL_SIZE
     assert os.path.exists(ARTIFACT if full else SMOKE_ARTIFACT)
     gate = report["gate"]
@@ -179,6 +219,12 @@ def test_serving_bench():
         assert ratio >= gate["min_ratio"], (
             f"numba-parallel fit_many at 4 workers only {ratio}x the "
             f"1-worker rate (gate {gate['min_ratio']}x)"
+        )
+    if overhead["asserted"]:
+        assert overhead["overhead_ratio"] <= overhead["max_ratio"], (
+            f"default ServePolicy costs {overhead['overhead_ratio']}x the "
+            f"plain path at {overhead['workers']} workers with no faults "
+            f"(gate {overhead['max_ratio']}x)"
         )
 
 

@@ -24,7 +24,12 @@ from .core import (
     pandora,
 )
 from .engine import DendrogramHandle, Engine
-from .structures import Dendrogram, SortedEdgeList, sort_edges_descending
+from .structures import (
+    Dendrogram,
+    InvalidGraphError,
+    SortedEdgeList,
+    sort_edges_descending,
+)
 
 __version__ = "1.0.0"
 
@@ -38,6 +43,7 @@ __all__ = [
     "dendrogram_mixed",
     "dendrogram_single_level",
     "Dendrogram",
+    "InvalidGraphError",
     "SortedEdgeList",
     "sort_edges_descending",
     "__version__",

@@ -12,6 +12,12 @@ Commands
 ``dendrogram`` build a dendrogram from a dataset (or .npy) and print its
                statistics and phase times; optionally verify against the
                sequential oracle and export Newick.
+``serve``      resilient-serving demo: fit a batch of random trees through
+               ``Engine.fit_many`` under a
+               :class:`~repro.engine.resilience.ServePolicy`, optionally
+               injecting deterministic transient faults and malformed jobs,
+               and print the per-job result envelopes, ``Engine.health()``
+               counters, and circuit-breaker state.
 ``datasets``   list the Table-2 dataset registry.
 ``devices``    show the calibrated device models, price a synthetic trace,
                and list the registered execution backends with their
@@ -152,6 +158,99 @@ def cmd_dendrogram(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .engine import Engine
+    from .engine.faults import FaultPlan, SiteFaults
+    from .engine.resilience import ServePolicy
+    from .perf import render_table
+    from .structures import random_spanning_tree
+
+    rng = np.random.default_rng(args.seed)
+    problems = [
+        random_spanning_tree(args.n, rng, skew=0.5)
+        for _ in range(args.jobs)
+    ]
+    if args.bad_jobs:
+        # Malformed (self-loop) inputs: classified permanent, never retried.
+        for i in range(min(args.bad_jobs, len(problems))):
+            u, v, w = problems[i]
+            problems[i] = (u, u, w)
+
+    policy = ServePolicy(
+        max_retries=args.retries,
+        job_deadline_s=args.job_deadline,
+        batch_deadline_s=args.batch_deadline,
+        fallback=not args.no_fallback,
+    )
+    engine = Engine()
+    if args.fault_rate > 0:
+        spec = SiteFaults(p_transient=args.fault_rate)
+        plan = FaultPlan(
+            {site: spec for site in ("kernel", "sort", "workspace")},
+            seed=args.fault_seed, budget=args.fault_budget,
+        )
+        with plan.active():
+            results = engine.fit_many(problems, max_workers=args.workers,
+                                      policy=policy)
+        injected = plan.stats()
+        print(f"fault plan: p={args.fault_rate} at kernel/sort/workspace, "
+              f"raised {injected['raised_total']} "
+              f"(budget {injected['budget']}) over "
+              f"{sum(injected['draws'].values())} pokes")
+    else:
+        results = engine.fit_many(problems, max_workers=args.workers,
+                                  policy=policy)
+
+    rows = [
+        [r.index, r.status, r.backend or "-", r.attempts, r.retries,
+         r.fallbacks, f"{r.latency_s * 1e3:.1f}ms",
+         type(r.error).__name__ if r.error is not None else ""]
+        for r in results
+    ]
+    print(render_table(
+        ["job", "status", "backend", "attempts", "retries", "fallbacks",
+         "latency", "error"],
+        rows,
+        title=f"Resilient serving: {args.jobs} jobs x {args.n:,} edges",
+    ))
+
+    health = engine.health()
+    health_rows = [
+        [name, *[per[k] for k in
+                 ("ok", "failed", "timeout", "cancelled", "retries",
+                  "fallbacks", "breaker_trips")]]
+        for name, per in health["backends"].items()
+    ]
+    health_rows.append(["TOTAL", *[health["total"][k] for k in
+                                   ("ok", "failed", "timeout", "cancelled",
+                                    "retries", "fallbacks", "breaker_trips")]])
+    print(render_table(
+        ["backend", "ok", "failed", "timeout", "cancelled", "retries",
+         "fallbacks", "trips"],
+        health_rows, title="Engine.health()",
+    ))
+    for key, st in health["breakers"].items():
+        state = "OPEN" if st["open"] else "closed"
+        print(f"breaker {key}: {state} "
+              f"({st['consecutive_failures']} consecutive failures)")
+
+    n_ok = sum(r.ok for r in results)
+    print(f"{n_ok}/{len(results)} jobs ok")
+    if args.verify and n_ok:
+        baseline = Engine().fit_many(
+            [p for p, r in zip(problems, results) if r.ok]
+        )
+        identical = all(
+            bool(np.array_equal(b.parent, r.value.parent))
+            for b, r in zip(baseline, (r for r in results if r.ok))
+        )
+        print("fault-free parity for ok jobs: "
+              + ("IDENTICAL" if identical else "MISMATCH"))
+        if not identical:
+            return 1
+    return 0
+
+
 def cmd_datasets(_args: argparse.Namespace) -> int:
     from .data import DATASETS
     from .perf import render_table
@@ -275,6 +374,41 @@ def main(argv: list[str] | None = None) -> int:
                    help="check against the sequential oracle")
     p.add_argument("--newick", default=None, help="export Newick to file")
     p.set_defaults(fn=cmd_dendrogram)
+
+    p = sub.add_parser(
+        "serve", help="resilient-serving demo: fit a batch of random trees "
+                      "under a ServePolicy, optionally with injected "
+                      "faults, and print per-job envelopes plus "
+                      "Engine.health()"
+    )
+    p.add_argument("--jobs", type=int, default=8, help="batch size")
+    p.add_argument("--n", type=int, default=20_000,
+                   help="vertices per random tree")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=None,
+                   help="pool width (default: the backend's heuristic)")
+    p.add_argument("--retries", type=int, default=3,
+                   help="transient-failure retry budget per job per backend")
+    p.add_argument("--job-deadline", type=float, default=None, metavar="S",
+                   help="cooperative per-job deadline in seconds")
+    p.add_argument("--batch-deadline", type=float, default=None, metavar="S",
+                   help="batch deadline in seconds (pending jobs cancelled)")
+    p.add_argument("--no-fallback", action="store_true",
+                   help="disable backend degradation")
+    p.add_argument("--fault-rate", type=float, default=0.0, metavar="P",
+                   help="inject transient faults with probability P per "
+                        "poke at kernel/sort/workspace sites")
+    p.add_argument("--fault-budget", type=int, default=3,
+                   help="cap on total injected faults (keep <= --retries "
+                        "so every job completes)")
+    p.add_argument("--fault-seed", type=int, default=0)
+    p.add_argument("--bad-jobs", type=int, default=0,
+                   help="replace this many jobs with malformed (self-loop) "
+                        "inputs to show permanent-failure isolation")
+    p.add_argument("--verify", action="store_true",
+                   help="re-fit ok jobs fault-free and check bit-identical "
+                        "parents")
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("datasets", help="list the dataset registry")
     p.set_defaults(fn=cmd_datasets)

@@ -47,6 +47,7 @@ from ..parallel.backend import get_backend
 from ..parallel.connected import components_of_forest
 from ..parallel.machine import debug_checks, emit
 from ..parallel.workspace import hotpath_config, index_dtype
+from ..structures.edgelist import InvalidGraphError
 from .alpha import alpha_mask, max_incident
 
 __all__ = ["ContractionLevel", "contract_multilevel", "max_contraction_levels"]
@@ -220,7 +221,7 @@ def contract_multilevel(
         # Work-optimality guard (Section 4.2): the contracted tree must be at
         # most half the size, or the recursion depth bound would break.
         if n_alpha > (level.n_edges - 1) / 2:
-            raise AssertionError(
+            raise InvalidGraphError(
                 f"alpha-edge bound violated: {n_alpha} > ({level.n_edges}-1)/2; "
                 "the input is not a tree in canonical order"
             )

@@ -39,7 +39,7 @@ from ..engine.plan import Phase, Plan, PlanResult
 from ..parallel.backend import get_backend
 from ..parallel.machine import CostModel, active_model, tracking
 from ..structures.dendrogram import Dendrogram
-from ..structures.edgelist import sort_edges_descending
+from ..structures.edgelist import InvalidGraphError, sort_edges_descending
 from .contraction import contract_multilevel, max_contraction_levels
 from .expansion import assign_chains, expand_single_level, stitch_chains
 
@@ -185,7 +185,17 @@ def pandora(
         cost_model = active_model() or CostModel()
     inputs = {"u": u, "v": v, "w": w, "n_vertices": n_vertices}
     with tracking(cost_model):
-        result = (plan or pandora_plan()).execute(inputs, cost_model)
+        try:
+            result = (plan or pandora_plan()).execute(inputs, cost_model)
+        except InvalidGraphError:
+            raise
+        except (AssertionError, IndexError, ValueError) as exc:
+            # Malformed (non-tree) inputs surface wherever the pipeline
+            # happens to trip over them; normalize the whole family to the
+            # single permanent classification (never retried).
+            raise InvalidGraphError(
+                f"input is not a tree in canonical form: {exc}"
+            ) from exc
     dend = Dendrogram(edges=result["edges"], parent=result["parent"])
     return dend, _stats_from(result)
 

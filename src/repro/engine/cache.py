@@ -28,6 +28,10 @@ import numpy as np
 
 __all__ = ["content_key", "ArtifactCache"]
 
+#: Fault-injection / cooperative-deadline hook (``repro.engine.faults``
+#: installs it on import); ``None`` keeps the seam at one identity check.
+_FAULT_HOOK = None
+
 
 def content_key(*parts: Any) -> tuple:
     """A hashable content fingerprint of heterogeneous key parts.
@@ -64,6 +68,8 @@ class ArtifactCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.put_faults = 0
 
     def get(self, key: tuple, default: Any = None) -> Any:
         with self._lock:
@@ -75,7 +81,23 @@ class ArtifactCache:
             return default
 
     def put(self, key: tuple, value: Any) -> Any:
-        """Insert ``value`` (first writer wins); returns the stored value."""
+        """Insert ``value`` (first writer wins); returns the stored value.
+
+        Degrades gracefully under injected faults: a classified failure at
+        the ``cache.put`` site is swallowed and counted (``put_faults``) and
+        the value is returned *uncached* -- the cache is an optimization, so
+        its own failures must never fail a job.  Deadline expiry is the one
+        exception: it propagates, because it is about the job, not the cache.
+        """
+        if _FAULT_HOOK is not None:
+            try:
+                _FAULT_HOOK("cache.put")
+            except TimeoutError:
+                raise
+            except Exception:
+                with self._lock:
+                    self.put_faults += 1
+                return value
         with self._lock:
             existing = self._entries.get(key)
             if existing is not None:
@@ -84,6 +106,7 @@ class ArtifactCache:
             self._entries[key] = value
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
+                self.evictions += 1
             return value
 
     def get_or_compute(self, key: tuple, compute: Callable[[], Any]) -> Any:
@@ -112,4 +135,6 @@ class ArtifactCache:
                 "entries": len(self._entries),
                 "hits": self.hits,
                 "misses": self.misses,
+                "evictions": self.evictions,
+                "put_faults": self.put_faults,
             }

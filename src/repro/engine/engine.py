@@ -37,9 +37,11 @@ the same input, whichever backend or index-dtype regime is active.
 from __future__ import annotations
 
 import contextvars
+import functools
 import os
 import time
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, Sequence
@@ -57,6 +59,14 @@ from ..structures.dendrogram import Dendrogram
 from ..structures.edgelist import as_edge_arrays
 from .cache import ArtifactCache, content_key
 from .plan import Plan
+from .resilience import (
+    BreakerBoard,
+    HealthCounters,
+    JobResult,
+    ServePolicy,
+    run_job,
+    serving_override,
+)
 
 __all__ = ["Engine", "DendrogramHandle"]
 
@@ -147,14 +157,24 @@ class Engine:
     ) -> None:
         self._backend = backend
         self.cache = ArtifactCache(max_entries=cache_entries)
+        # Resilience state (persists across batches): circuit breakers per
+        # (backend, site) and the per-backend health counters.
+        self.breakers = BreakerBoard()
+        self._health = HealthCounters()
 
     # -- context -----------------------------------------------------------
     @contextmanager
     def _scope(self) -> Iterator[Backend]:
-        if self._backend is None:
+        # The serving-path degradation override outranks the engine pin:
+        # a fallback re-run must actually execute on the fallback backend
+        # even when this engine is pinned (see ``resilience``).
+        target = serving_override()
+        if target is None:
+            target = self._backend
+        if target is None:
             yield get_backend()
         else:
-            with use_backend(self._backend) as b:
+            with use_backend(target) as b:
                 yield b
 
     # -- dendrogram construction -------------------------------------------
@@ -348,6 +368,7 @@ class Engine:
         fn: Callable[..., Any],
         items: Iterable[Any],
         max_workers: int | None = None,
+        policy: ServePolicy | None = None,
     ) -> list[Any]:
         """Run ``fn(item)`` for every item on a thread pool.
 
@@ -355,24 +376,87 @@ class Engine:
         selection, hot-path flags and debug-checks propagate; workspace
         pools remain per-thread by construction), with inherited cost-model
         tracking suspended -- see the module docstring.  Results are
-        returned in submission order; the first job exception propagates.
-        ``max_workers=None`` applies :meth:`default_workers` to the
-        engine's (or context's) active backend.
+        returned in submission order.  ``max_workers=None`` applies
+        :meth:`default_workers` to the engine's (or context's) active
+        backend.
+
+        With ``policy=None`` (the default) the first job exception
+        propagates -- after cancelling every still-pending job, so the
+        pool never silently runs the rest of the batch and drops their
+        exceptions.  With a :class:`~repro.engine.resilience.ServePolicy`,
+        every item instead yields a
+        :class:`~repro.engine.resilience.JobResult` envelope and the batch
+        survives bad jobs: transient failures retry with backoff, tripped
+        backends degrade down the fallback chain, deadlines cancel or time
+        out jobs, and every outcome lands in :meth:`health`.
         """
         items = list(items)
         if not items:
             return []
-        if max_workers is None:
-            with self._scope() as backend:
+        with self._scope() as backend:
+            if max_workers is None:
                 max_workers = self.default_workers(backend)
+            backend_name = backend.name
+        if policy is None:
+            with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                futures = [
+                    pool.submit(
+                        contextvars.copy_context().run, self._shielded, fn, item
+                    )
+                    for item in items
+                ]
+                try:
+                    return [f.result() for f in futures]
+                except BaseException:
+                    for f in futures:
+                        f.cancel()
+                    raise
+
+        batch_deadline = (
+            None if policy.batch_deadline_s is None
+            else time.perf_counter() + policy.batch_deadline_s
+        )
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
             futures = [
                 pool.submit(
-                    contextvars.copy_context().run, self._shielded, fn, item
+                    contextvars.copy_context().run,
+                    run_job,
+                    functools.partial(self._shielded, fn, item),
+                    i,
+                    policy,
+                    self.breakers,
+                    self._health,
+                    backend_name,
+                    batch_deadline,
                 )
-                for item in items
+                for i, item in enumerate(items)
             ]
-            return [f.result() for f in futures]
+            results: list[JobResult] = []
+            expired = False
+            for i, f in enumerate(futures):
+                if batch_deadline is not None and not expired:
+                    remaining = batch_deadline - time.perf_counter()
+                    try:
+                        results.append(f.result(timeout=max(0.0, remaining)))
+                        continue
+                    except FuturesTimeout:
+                        # Batch deadline: sweep-cancel everything not yet
+                        # running, back to front (the pool consumes in
+                        # submission order, so the tail is least started).
+                        expired = True
+                        for g in reversed(futures[i:]):
+                            g.cancel()
+                if f.cancelled():
+                    self._health.record(backend_name, "cancelled")
+                    results.append(JobResult(
+                        index=i, status="cancelled",
+                        error_kind="timeout", backend=None,
+                    ))
+                else:
+                    # Already running: it times out cooperatively via the
+                    # in-job deadline, so this wait is short.
+                    results.append(f.result())
+            return results
 
     @staticmethod
     def _shielded(fn: Callable[..., Any], item: Any) -> Any:
@@ -383,13 +467,30 @@ class Engine:
         self,
         problems: Iterable[Sequence[Any]],
         max_workers: int | None = None,
+        policy: ServePolicy | None = None,
     ) -> list[DendrogramHandle]:
         """Fit many MSTs concurrently: ``problems`` holds ``(u, v, w)`` or
-        ``(u, v, w, n_vertices)`` tuples; returns handles in order."""
+        ``(u, v, w, n_vertices)`` tuples; returns handles in order (or
+        :class:`~repro.engine.resilience.JobResult` envelopes under a
+        ``policy`` -- see :meth:`map`)."""
         return self.map(
-            lambda p: self.fit(*_fit_problem(p)), problems, max_workers
+            lambda p: self.fit(*_fit_problem(p)), problems, max_workers,
+            policy=policy,
         )
 
     # -- introspection -----------------------------------------------------
     def cache_stats(self) -> dict[str, int]:
         return self.cache.stats()
+
+    def health(self) -> dict[str, Any]:
+        """Serving-path health: per-backend outcome counters plus breaker
+        state, one introspection shape with :meth:`cache_stats`::
+
+            {"total": {...}, "backends": {name: {...}}, "breakers": {...}}
+
+        Counter keys are ``ok / failed / timeout / cancelled / retries /
+        fallbacks / breaker_trips``; breakers are keyed ``backend/site``.
+        """
+        snap = self._health.snapshot()
+        snap["breakers"] = self.breakers.snapshot()
+        return snap

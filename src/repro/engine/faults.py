@@ -1,0 +1,308 @@
+"""Deterministic fault injection: provable failure paths for the engine.
+
+A serving tier is only as reliable as its *tested* failure paths.  This
+module makes every classified failure the resilience layer handles
+(:mod:`repro.engine.resilience`) reproducible on demand: a context-local,
+deterministically-seeded :class:`FaultPlan` injects classified failures --
+transient vs. permanent, plus artificial latency -- at named seams of the
+execution stack.
+
+Sites
+-----
+``kernel``
+    Kernel accounting entry (:func:`repro.parallel.machine.emit`) -- fires
+    once per logical data-parallel kernel on every backend, JIT or
+    interpreted.
+``sort``
+    The canonical edge sort (:func:`repro.structures.edgelist.
+    sort_edges_descending`), the pipeline's single heaviest kernel.
+``workspace``
+    Scratch acquisition (:meth:`repro.parallel.workspace.Workspace.take`)
+    -- where a device backend would surface allocation failures.
+``cache.put``
+    Artifact-cache insertion (:meth:`repro.engine.cache.ArtifactCache.put`).
+    The cache degrades gracefully: an injected put failure is swallowed and
+    counted, and the value is served uncached (see ``ArtifactCache``).
+
+Hook mechanism
+--------------
+Each seam module holds a module-global ``_FAULT_HOOK`` that defaults to
+``None``; the seam's entire cost when this module was never imported is one
+``is not None`` check.  Importing :mod:`repro.engine.faults` installs
+:func:`_hook` into every seam, after which each seam pays two ContextVar
+reads per call (tens of nanoseconds -- the serving benchmark gates the
+policy-on overhead at <= 3%).  The hook serves double duty: it fires the
+active :class:`FaultPlan` (if any) and enforces the active cooperative
+deadline (if any) by raising :class:`DeadlineExceeded`, which is what lets
+the resilience layer time out jobs *mid-pipeline* rather than only between
+retries.
+
+Determinism
+-----------
+Decisions are pure functions of ``(seed, site, draw_index)`` via blake2b --
+no RNG state, no wall clock -- so a plan replays the same schedule for the
+same sequence of pokes.  Under a concurrent batch the *assignment* of draws
+to jobs depends on thread interleaving; bound the blast radius with
+``budget`` (a plan-wide cap on raised faults) when a test must guarantee
+that bounded retries absorb every injected failure regardless of
+interleaving.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+__all__ = [
+    "FAULT_SITES",
+    "FaultInjected",
+    "TransientFault",
+    "PermanentFault",
+    "DeadlineExceeded",
+    "SiteFaults",
+    "FaultPlan",
+    "active_plan",
+    "active_deadline",
+    "deadline_scope",
+]
+
+#: The named injection sites wired into the execution stack.
+FAULT_SITES: tuple[str, ...] = ("kernel", "sort", "workspace", "cache.put")
+
+
+class FaultInjected(RuntimeError):
+    """Base of injected failures; carries the site that raised it."""
+
+    #: Classification consumed by ``repro.engine.resilience``.
+    transient: bool = False
+
+    def __init__(self, site: str, detail: str = "") -> None:
+        kind = "transient" if self.transient else "permanent"
+        super().__init__(
+            f"injected {kind} fault at site {site!r}"
+            + (f" ({detail})" if detail else "")
+        )
+        self.site = site
+
+
+class TransientFault(FaultInjected):
+    """An injected failure that a retry may absorb (device hiccup shape)."""
+
+    transient = True
+
+
+class PermanentFault(FaultInjected):
+    """An injected failure that retrying can never fix (bad-input shape)."""
+
+    transient = False
+
+
+class DeadlineExceeded(TimeoutError):
+    """A cooperative deadline check fired mid-pipeline (see module docs)."""
+
+    def __init__(self, site: str = "job") -> None:
+        super().__init__(f"deadline exceeded (checked at site {site!r})")
+        self.site = site
+
+
+@dataclass(frozen=True)
+class SiteFaults:
+    """Per-site schedule: independent probabilities per poke.
+
+    A single uniform draw in ``[0, 1)`` is partitioned as
+    ``[0, p_transient)`` -> transient fault, ``[p_transient, p_transient +
+    p_permanent)`` -> permanent fault, then a ``latency_s`` sleep with
+    probability ``p_latency``.  ``max_fires`` caps how many faults this
+    site may *raise* (latency does not count); ``None`` is unlimited.
+    """
+
+    p_transient: float = 0.0
+    p_permanent: float = 0.0
+    p_latency: float = 0.0
+    latency_s: float = 0.0
+    max_fires: int | None = None
+
+    def __post_init__(self) -> None:
+        total = self.p_transient + self.p_permanent + self.p_latency
+        if not 0.0 <= total <= 1.0:
+            raise ValueError(
+                f"site probabilities must sum into [0, 1], got {total}"
+            )
+
+
+def _uniform(seed: int, site: str, k: int) -> float:
+    """Deterministic uniform draw in [0, 1) from (seed, site, draw index)."""
+    digest = hashlib.blake2b(
+        f"{seed}:{site}:{k}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") / 2.0**64
+
+
+class FaultPlan:
+    """A deterministic, thread-safe injection schedule over named sites.
+
+    Activate with :meth:`active`; every hooked seam then consults the plan.
+    The plan object is shared by every job of a serving batch (jobs run in
+    snapshots of the submitting context, which all reference the same
+    plan), so ``budget`` bounds total raised faults batch-wide.
+    """
+
+    def __init__(
+        self,
+        sites: Mapping[str, SiteFaults],
+        seed: int = 0,
+        budget: int | None = None,
+    ) -> None:
+        unknown = set(sites) - set(FAULT_SITES)
+        if unknown:
+            raise ValueError(
+                f"unknown fault sites {sorted(unknown)}; wired sites: "
+                f"{list(FAULT_SITES)}"
+            )
+        self.sites = dict(sites)
+        self.seed = int(seed)
+        self.budget = budget
+        self._lock = threading.Lock()
+        self._draws: dict[str, int] = {}
+        self._raised: dict[str, int] = {}
+        self._latency_fires = 0
+        self._raised_total = 0
+
+    @classmethod
+    def transient_everywhere(
+        cls,
+        p: float,
+        seed: int = 0,
+        budget: int | None = None,
+        sites: tuple[str, ...] = ("kernel", "sort", "workspace"),
+    ) -> "FaultPlan":
+        """Uniform transient-fault schedule over the execution sites."""
+        return cls(
+            {s: SiteFaults(p_transient=p) for s in sites},
+            seed=seed, budget=budget,
+        )
+
+    def fire(self, site: str) -> None:
+        """One poke from a hooked seam; may raise or sleep (see class docs)."""
+        spec = self.sites.get(site)
+        if spec is None:
+            return
+        kind = None
+        with self._lock:
+            k = self._draws.get(site, 0)
+            self._draws[site] = k + 1
+            r = _uniform(self.seed, site, k)
+            if r < spec.p_transient:
+                kind = "transient"
+            elif r < spec.p_transient + spec.p_permanent:
+                kind = "permanent"
+            elif r < spec.p_transient + spec.p_permanent + spec.p_latency:
+                kind = "latency"
+            if kind in ("transient", "permanent"):
+                exhausted = (
+                    (self.budget is not None
+                     and self._raised_total >= self.budget)
+                    or (spec.max_fires is not None
+                        and self._raised.get(site, 0) >= spec.max_fires)
+                )
+                if exhausted:
+                    kind = None
+                else:
+                    self._raised[site] = self._raised.get(site, 0) + 1
+                    self._raised_total += 1
+        if kind == "latency":
+            with self._lock:
+                self._latency_fires += 1
+            time.sleep(spec.latency_s)
+        elif kind == "transient":
+            raise TransientFault(site, f"draw {k}, seed {self.seed}")
+        elif kind == "permanent":
+            raise PermanentFault(site, f"draw {k}, seed {self.seed}")
+
+    def stats(self) -> dict:
+        """Schedule accounting: pokes seen and faults raised, per site."""
+        with self._lock:
+            return {
+                "draws": dict(self._draws),
+                "raised": dict(self._raised),
+                "raised_total": self._raised_total,
+                "latency_fires": self._latency_fires,
+                "budget": self.budget,
+            }
+
+    @contextmanager
+    def active(self) -> Iterator["FaultPlan"]:
+        """Activate the plan for the current context (and contexts copied
+        from it -- the engine's serving jobs inherit it)."""
+        token = _PLAN.set(self)
+        try:
+            yield self
+        finally:
+            _PLAN.reset(token)
+
+
+# ---------------------------------------------------------------------------
+# Context-local activation state + the hook installed into the seams.
+# ---------------------------------------------------------------------------
+
+_PLAN: ContextVar[FaultPlan | None] = ContextVar(
+    "repro_fault_plan", default=None
+)
+_DEADLINE: ContextVar[float | None] = ContextVar(
+    "repro_job_deadline", default=None
+)
+
+
+def active_plan() -> FaultPlan | None:
+    """The fault plan active in the calling context, if any."""
+    return _PLAN.get()
+
+
+def active_deadline() -> float | None:
+    """The cooperative job deadline (``time.perf_counter`` basis), if any."""
+    return _DEADLINE.get()
+
+
+@contextmanager
+def deadline_scope(deadline: float | None) -> Iterator[None]:
+    """Arm the cooperative deadline for the block (``None`` disarms).
+
+    Hooked seams raise :class:`DeadlineExceeded` once ``time.perf_counter()``
+    passes ``deadline`` -- kernel-granular cancellation for thread-pool jobs
+    that cannot be killed externally.
+    """
+    token = _DEADLINE.set(deadline)
+    try:
+        yield
+    finally:
+        _DEADLINE.reset(token)
+
+
+def _hook(site: str) -> None:
+    plan = _PLAN.get()
+    if plan is not None:
+        plan.fire(site)
+    deadline = _DEADLINE.get()
+    if deadline is not None and time.perf_counter() > deadline:
+        raise DeadlineExceeded(site)
+
+
+def _install_hooks() -> None:
+    """Install :func:`_hook` into every seam module (idempotent)."""
+    from ..parallel import machine as _machine
+    from ..parallel import workspace as _workspace
+    from ..structures import edgelist as _edgelist
+    from . import cache as _cache
+
+    _machine._FAULT_HOOK = _hook
+    _workspace._FAULT_HOOK = _hook
+    _edgelist._FAULT_HOOK = _hook
+    _cache._FAULT_HOOK = _hook
+
+
+_install_hooks()

@@ -98,6 +98,8 @@ __all__ = [
     "get_backend",
     "set_default_backend",
     "use_backend",
+    "register_fallback",
+    "fallback_chain",
 ]
 
 
@@ -679,6 +681,39 @@ def set_default_backend(backend: str | Backend | None) -> Backend | None:
     return previous
 
 
+# Graceful-degradation chain (the resilience contract): each entry names the
+# backend a tripped circuit breaker falls back to.  Safe to follow blindly
+# because the cross-backend contract guarantees bit-identical results on
+# every backend -- degradation trades throughput, never correctness.
+_FALLBACKS: dict[str, str] = {}
+
+
+def register_fallback(name: str, fallback: str) -> None:
+    """Declare that ``name`` degrades to ``fallback`` when it is tripped."""
+    _FALLBACKS[name] = fallback
+
+
+def fallback_chain(name: str) -> tuple[str, ...]:
+    """Backends to degrade to from ``name``, nearest first.
+
+    Follows the registered fallback edges, keeping only backends that are
+    *available* in this environment (an unavailable link is skipped, not a
+    dead end) and stopping on a cycle.  The starting backend itself is not
+    included; unregistered names simply have an empty chain.
+    """
+    chain: list[str] = []
+    seen = {name}
+    current = name
+    while True:
+        nxt = _FALLBACKS.get(current)
+        if nxt is None or nxt in seen:
+            return tuple(chain)
+        seen.add(nxt)
+        current = nxt
+        if backend_available(nxt):
+            chain.append(nxt)
+
+
 @contextmanager
 def use_backend(backend: str | Backend) -> Iterator[Backend]:
     """Temporarily activate a backend (by registry name or instance)::
@@ -738,3 +773,10 @@ register_backend("numba-python", _make_numba_python)
 register_backend("numba-parallel", _make_numba_parallel,
                  available=_numba_importable)
 register_backend("numba-parallel-python", _make_numba_parallel_python)
+
+# Degradation chains: JIT serving backend -> JIT sequential -> reference,
+# and the interpreted parity twins mirror it.
+register_fallback("numba-parallel", "numba")
+register_fallback("numba", "numpy")
+register_fallback("numba-parallel-python", "numba-python")
+register_fallback("numba-python", "numpy")

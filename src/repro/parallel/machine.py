@@ -289,8 +289,16 @@ def untracked() -> Iterator[None]:
         _ACTIVE.reset(token)
 
 
+#: Fault-injection / cooperative-deadline hook (``repro.engine.faults``
+#: installs it on import); ``None`` -- the default -- keeps the seam's cost
+#: at a single identity check.
+_FAULT_HOOK = None
+
+
 def emit(name: str, category: KernelCategory, work: int) -> None:
     """Record one kernel launch into the innermost active model."""
+    if _FAULT_HOOK is not None:
+        _FAULT_HOOK("kernel")
     stack = _ACTIVE.get()
     if stack:
         stack[-1].add(name, category, work)

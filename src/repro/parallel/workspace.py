@@ -47,6 +47,10 @@ __all__ = [
     "hotpath",
     "seed_equivalent",
     "index_dtype",
+    "ResourceError",
+    "workspace_cap",
+    "set_workspace_cap",
+    "workspace_cap_set",
     "Workspace",
     "workspace",
     "scoped_workspace",
@@ -54,6 +58,60 @@ __all__ = [
 
 #: Largest ``n_edges + n_vertices`` for which int32 indexing is safe.
 INT32_LIMIT = 2**31
+
+#: Fault-injection / cooperative-deadline hook (``repro.engine.faults``
+#: installs it on import); ``None`` keeps the seam at one identity check.
+_FAULT_HOOK = None
+
+
+class ResourceError(MemoryError):
+    """A workspace allocation was refused by the memory-pressure guard.
+
+    Classified *transient* by the resilience layer
+    (:mod:`repro.engine.resilience`): the request may succeed after a
+    retry or on a fallback backend whose pools are sized differently --
+    the CPU analogue of a device-OOM that degrades to a host backend.
+    """
+
+    transient = True
+
+    def __init__(self, name: str, requested: int, held: int, cap: int) -> None:
+        super().__init__(
+            f"workspace cap exceeded: slot {name!r} needs {requested:,} more "
+            f"bytes with {held:,} already held (cap {cap:,})"
+        )
+        self.requested = requested
+        self.held = held
+        self.cap = cap
+
+
+# Context-local memory-pressure cap (bytes of live workspace buffers per
+# pool).  Like every other execution setting it is context-local, so a
+# serving job inherits the submitting context's cap and concurrent contexts
+# can differ; ``None`` (the default) disables the guard entirely.
+_CAP: ContextVar[int | None] = ContextVar("repro_workspace_cap", default=None)
+
+
+def workspace_cap() -> int | None:
+    """The workspace byte cap active in the current context (or ``None``)."""
+    return _CAP.get()
+
+
+def set_workspace_cap(max_bytes: int | None) -> int | None:
+    """Set the context's workspace byte cap; returns the previous value."""
+    previous = _CAP.get()
+    _CAP.set(None if max_bytes is None else int(max_bytes))
+    return previous
+
+
+@contextmanager
+def workspace_cap_set(max_bytes: int | None) -> Iterator[None]:
+    """Temporarily pin the workspace byte cap (context-locally)."""
+    token = _CAP.set(None if max_bytes is None else int(max_bytes))
+    try:
+        yield
+    finally:
+        _CAP.reset(token)
 
 
 @dataclass(frozen=True)
@@ -172,25 +230,42 @@ class Workspace:
     aliasing contract.
     """
 
-    __slots__ = ("_buffers", "hits", "misses", "bytes_allocated")
+    __slots__ = ("_buffers", "hits", "misses", "bytes_allocated", "bytes_held")
 
     def __init__(self) -> None:
         self._buffers: dict[tuple[str, np.dtype], np.ndarray] = {}
         self.hits = 0
         self.misses = 0
         self.bytes_allocated = 0
+        self.bytes_held = 0
 
     def take(self, name: str, size: int, dtype) -> np.ndarray:
-        """A ``(size,)`` uninitialized scratch view for slot ``name``."""
+        """A ``(size,)`` uninitialized scratch view for slot ``name``.
+
+        Subject to the context's memory-pressure cap
+        (:func:`workspace_cap`): a request whose allocation would push this
+        pool's live bytes past the cap raises :class:`ResourceError`
+        instead of allocating -- a classified, retryable failure rather
+        than an allocator abort deep inside a kernel.
+        """
+        if _FAULT_HOOK is not None:
+            _FAULT_HOOK("workspace")
         dt = np.dtype(dtype)
         key = (name, dt)
         buf = self._buffers.get(key)
         if buf is None or buf.size < size:
             capacity = 1 << max(int(size) - 1, 0).bit_length()
+            new_bytes = capacity * dt.itemsize
+            freed = 0 if buf is None else buf.nbytes
+            cap = _CAP.get()
+            if cap is not None and self.bytes_held - freed + new_bytes > cap:
+                raise ResourceError(name, new_bytes - freed,
+                                    self.bytes_held, cap)
             buf = np.empty(capacity, dtype=dt)
             self._buffers[key] = buf
             self.misses += 1
             self.bytes_allocated += buf.nbytes
+            self.bytes_held += new_bytes - freed
         else:
             self.hits += 1
         return buf[:size]
@@ -198,6 +273,7 @@ class Workspace:
     def clear(self) -> None:
         """Drop every buffer (memory is released to the allocator)."""
         self._buffers.clear()
+        self.bytes_held = 0
 
     @property
     def n_buffers(self) -> int:
@@ -209,6 +285,7 @@ class Workspace:
             "hits": self.hits,
             "misses": self.misses,
             "bytes_allocated": self.bytes_allocated,
+            "bytes_held": self.bytes_held,
             "n_buffers": self.n_buffers,
         }
 

@@ -1,7 +1,12 @@
 """Core data structures: canonical edge lists, trees, dendrograms."""
 
 from .dendrogram import EDGE_ALPHA, EDGE_CHAIN, EDGE_LEAF, Dendrogram
-from .edgelist import SortedEdgeList, as_edge_arrays, sort_edges_descending
+from .edgelist import (
+    InvalidGraphError,
+    SortedEdgeList,
+    as_edge_arrays,
+    sort_edges_descending,
+)
 from .euler import EulerTour, euler_subtree_sizes, euler_tour
 from .tree import (
     adjacency_lists,
@@ -18,6 +23,7 @@ __all__ = [
     "EDGE_LEAF",
     "EDGE_CHAIN",
     "EDGE_ALPHA",
+    "InvalidGraphError",
     "SortedEdgeList",
     "sort_edges_descending",
     "as_edge_arrays",

@@ -29,7 +29,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..parallel import UnionFind
-from .edgelist import SortedEdgeList
+from .edgelist import InvalidGraphError, SortedEdgeList
 
 __all__ = ["Dendrogram", "EDGE_LEAF", "EDGE_CHAIN", "EDGE_ALPHA"]
 
@@ -357,7 +357,8 @@ class Dendrogram:
 
     # -- validation ---------------------------------------------------------------
     def validate(self) -> None:
-        """Check all structural invariants; raise ``ValueError`` on violation.
+        """Check all structural invariants; raise :class:`~repro.structures.
+        edgelist.InvalidGraphError` (a ``ValueError``) on violation.
 
         * parent array has the right length and in-range values;
         * exactly one root, and it is edge node 0 (heaviest edge);
@@ -369,24 +370,24 @@ class Dendrogram:
         n, nv = self.n_edges, self.n_vertices
         p = self.parent
         if p.shape != (n + nv,):
-            raise ValueError(f"parent must have shape ({n + nv},), got {p.shape}")
+            raise InvalidGraphError(f"parent must have shape ({n + nv},), got {p.shape}")
         if n == 0:
             if nv and not (p == -1).all():
-                raise ValueError("edgeless dendrogram must have all roots")
+                raise InvalidGraphError("edgeless dendrogram must have all roots")
             return
         roots = np.nonzero(p == -1)[0]
         if roots.size != 1 or roots[0] != 0:
-            raise ValueError(
+            raise InvalidGraphError(
                 f"expected the unique root to be edge node 0, got roots={roots}"
             )
         if p.max() >= n:
-            raise ValueError("a vertex node appears as a parent; leaves only")
+            raise InvalidGraphError("a vertex node appears as a parent; leaves only")
         if p[p >= 0].min() < 0:
-            raise ValueError("negative parent other than -1 found")
+            raise InvalidGraphError("negative parent other than -1 found")
         ek = p[1:n]
         if np.any(ek >= np.arange(1, n)):
             bad = int(np.nonzero(ek >= np.arange(1, n))[0][0] + 1)
-            raise ValueError(
+            raise InvalidGraphError(
                 f"edge node {bad} has parent {int(p[bad])} >= itself; "
                 "parents must be heavier (smaller index)"
             )
@@ -394,7 +395,7 @@ class Dendrogram:
         np.add.at(counts, p[p >= 0], 1)
         if not (counts == 2).all():
             bad = int(np.nonzero(counts != 2)[0][0])
-            raise ValueError(
+            raise InvalidGraphError(
                 f"edge node {bad} has {int(counts[bad])} children, expected 2"
             )
         # Reachability: parent[k] < k for edges and vertex parents are edges,

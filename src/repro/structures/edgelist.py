@@ -18,7 +18,32 @@ from ..parallel.backend import get_backend
 from ..parallel.machine import debug_checks
 from ..parallel.workspace import index_dtype
 
-__all__ = ["SortedEdgeList", "sort_edges_descending", "as_edge_arrays"]
+__all__ = [
+    "InvalidGraphError",
+    "SortedEdgeList",
+    "sort_edges_descending",
+    "as_edge_arrays",
+]
+
+#: Fault-injection / cooperative-deadline hook (``repro.engine.faults``
+#: installs it on import); ``None`` keeps the seam at one identity check.
+_FAULT_HOOK = None
+
+
+class InvalidGraphError(ValueError):
+    """The input edge set is not a valid tree in canonical form.
+
+    The single normalized failure type for malformed graph inputs (NaN
+    weights, self-loops, negative ids, cycles, forests, parallel edges):
+    every layer of the pipeline raises or re-raises it, so callers -- and
+    the resilience layer, which classifies it *permanent* and never retries
+    it -- see one exception type instead of a mix of ``ValueError`` /
+    ``AssertionError`` / ``IndexError`` depending on where the malformation
+    happened to surface.  Subclasses ``ValueError`` for backwards
+    compatibility.
+    """
+
+    transient = False
 
 
 def as_edge_arrays(
@@ -30,23 +55,26 @@ def as_edge_arrays(
     (NaN weights, negative ids, self-loops -- each a full array scan) are
     debug-gated like every other input-validation pass, so benchmarks with
     ``REPRO_DEBUG_CHECKS=0`` do not pay them inside the sort phase.
+    Violations raise :class:`InvalidGraphError`.
     """
     u = np.ascontiguousarray(u, dtype=np.int64)
     v = np.ascontiguousarray(v, dtype=np.int64)
     w = np.ascontiguousarray(w, dtype=np.float64)
     if not (u.ndim == v.ndim == w.ndim == 1):
-        raise ValueError("edge arrays must be 1-D")
+        raise InvalidGraphError("edge arrays must be 1-D")
     if not (u.size == v.size == w.size):
-        raise ValueError(
+        raise InvalidGraphError(
             f"edge arrays must have equal length, got {u.size}/{v.size}/{w.size}"
         )
     if debug_checks():
         if np.isnan(w).any():
-            raise ValueError("edge weights must not contain NaN")
+            raise InvalidGraphError("edge weights must not contain NaN")
         if u.size and (min(u.min(), v.min()) < 0):
-            raise ValueError("vertex ids must be non-negative")
+            raise InvalidGraphError("vertex ids must be non-negative")
         if np.any(u == v):
-            raise ValueError("self-loop edge found; a tree has no self-loops")
+            raise InvalidGraphError(
+                "self-loop edge found; a tree has no self-loops"
+            )
     return u, v, w
 
 
@@ -95,7 +123,9 @@ class SortedEdgeList:
 
     def __post_init__(self) -> None:
         if debug_checks() and self.n_edges and np.any(np.diff(self.w) > 0):
-            raise ValueError("weights must be non-increasing in a SortedEdgeList")
+            raise InvalidGraphError(
+                "weights must be non-increasing in a SortedEdgeList"
+            )
 
 
 def sort_edges_descending(u, v, w, n_vertices: int | None = None) -> SortedEdgeList:
@@ -109,6 +139,8 @@ def sort_edges_descending(u, v, w, n_vertices: int | None = None) -> SortedEdgeL
     the index bytes; ``as_edge_arrays`` -- the public input boundary --
     stays int64.
     """
+    if _FAULT_HOOK is not None:
+        _FAULT_HOOK("sort")
     u, v, w = as_edge_arrays(u, v, w)
     backend = get_backend()
     if n_vertices is None:

@@ -1,0 +1,133 @@
+"""Chaos parity: randomized fault schedules must never corrupt results.
+
+The determinism contract extends into the failure domain: whatever a
+:class:`~repro.engine.faults.FaultPlan` throws at an 8-thread ``fit_many``
+-- transient faults, latency, permanent faults, malformed jobs -- every job
+that reports *ok* must carry a parent array bit-identical to the fault-free
+run, on every backend and in both index-dtype regimes, and
+``Engine.health()`` must account for every retry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Engine
+from repro.engine.faults import FaultPlan, SiteFaults
+from repro.engine.resilience import ServePolicy
+from repro.parallel import use_backend
+
+from repro.structures.tree import random_spanning_tree
+
+from backend_fixtures import backend_params, dtype_regime, dtype_regime_params
+
+N_JOBS = 8
+N_WORKERS = 8
+
+
+def _problems(rng):
+    """Mixed shapes: balanced and skewed trees of varying size."""
+    return [
+        random_spanning_tree(150 + 40 * i, rng, skew=(0.0, 0.5, 0.9)[i % 3])
+        for i in range(N_JOBS)
+    ]
+
+
+def _chaos_plan(seed: int, budget: int) -> FaultPlan:
+    """Transient faults at every execution site plus a little latency."""
+    return FaultPlan(
+        {
+            "kernel": SiteFaults(p_transient=0.02, p_latency=0.02,
+                                 latency_s=0.0005),
+            "sort": SiteFaults(p_transient=0.25),
+            "workspace": SiteFaults(p_transient=0.03),
+        },
+        seed=seed,
+        budget=budget,
+    )
+
+
+@pytest.mark.parametrize("backend_name", backend_params())
+@pytest.mark.parametrize("regime", dtype_regime_params())
+def test_chaos_parity_across_backends(backend_name, regime, rng):
+    """Randomized schedules x backends x dtype regimes, 8 threads."""
+    probs = _problems(rng)
+    budget = 4
+    policy = ServePolicy(max_retries=budget, backoff_base_s=0.0005,
+                         breaker_threshold=100)
+    with dtype_regime(regime), use_backend(backend_name):
+        baseline = Engine().fit_many(probs, max_workers=N_WORKERS)
+        for seed in (1, 2, 3):
+            plan = _chaos_plan(seed, budget)
+            eng = Engine()
+            with plan.active():
+                results = eng.fit_many(probs, max_workers=N_WORKERS,
+                                       policy=policy)
+            assert [r.status for r in results] == ["ok"] * N_JOBS, (
+                f"seed {seed}: {[r.status for r in results]}"
+            )
+            for b, r in zip(baseline, results):
+                assert r.value.parent.dtype == np.int64  # API boundary
+                assert np.array_equal(b.parent, r.value.parent), (
+                    f"seed {seed}: job {r.index} diverged under faults"
+                )
+            injected = plan.stats()
+            health = eng.health()["total"]
+            assert health["ok"] == N_JOBS
+            # budget <= max_retries: every raised fault was absorbed by
+            # exactly one accounted retry, whatever the interleaving.
+            assert health["retries"] == injected["raised_total"]
+            assert health["failed"] == health["timeout"] == 0
+
+
+def test_chaos_mixed_outcomes_partition(rng):
+    """Permanent faults and malformed jobs coexist with transient chaos:
+    outcomes partition cleanly and the ok subset stays bit-identical."""
+    probs = _problems(rng)
+    baseline = Engine().fit_many(probs, max_workers=N_WORKERS)
+    u, _v, w = probs[3]
+    probs[3] = (u, u, w)  # malformed: permanent InvalidGraphError
+    plan = FaultPlan(
+        {
+            "kernel": SiteFaults(p_transient=0.01, p_permanent=0.002),
+            "sort": SiteFaults(p_transient=0.2),
+        },
+        seed=11,
+    )
+    eng = Engine()
+    policy = ServePolicy(max_retries=6, backoff_base_s=0.0005,
+                         breaker_threshold=100)
+    with plan.active():
+        results = eng.fit_many(probs, max_workers=N_WORKERS, policy=policy)
+
+    assert [r.index for r in results] == list(range(N_JOBS))
+    assert results[3].status == "failed"
+    counts = {"ok": 0, "failed": 0, "timeout": 0, "cancelled": 0}
+    for r in results:
+        counts[r.status] += 1
+    assert sum(counts.values()) == N_JOBS
+    health = eng.health()["total"]
+    for key, n in counts.items():
+        assert health[key] == n, (key, counts, health)
+    for b, r in zip(baseline, results):
+        if r.ok:
+            assert np.array_equal(b.parent, r.value.parent)
+
+
+def test_chaos_repeated_batches_accumulate_health(rng):
+    """Health and breaker state persist across batches on one engine."""
+    probs = _problems(rng)[:4]
+    eng = Engine()
+    policy = ServePolicy(max_retries=3, backoff_base_s=0.0005,
+                         breaker_threshold=100)
+    total_raised = 0
+    for seed in (21, 22):
+        plan = _chaos_plan(seed, budget=3)
+        with plan.active():
+            results = eng.fit_many(probs, max_workers=4, policy=policy)
+        assert all(r.ok for r in results)
+        total_raised += plan.stats()["raised_total"]
+    health = eng.health()["total"]
+    assert health["ok"] == 8
+    assert health["retries"] == total_raised

@@ -9,25 +9,31 @@ from repro import dendrogram_bottomup, pandora
 from repro.core.contraction import contract_multilevel
 from repro.hdbscan import hdbscan
 from repro.spatial import KDTree, emst
-from repro.structures.edgelist import sort_edges_descending
+from repro.structures.edgelist import InvalidGraphError, sort_edges_descending
 
 
 class TestEdgeInputValidation:
     def test_nan_weight_rejected(self):
-        with pytest.raises(ValueError, match="NaN"):
+        with pytest.raises(InvalidGraphError, match="NaN"):
             pandora([0], [1], [float("nan")])
 
     def test_self_loop_rejected(self):
-        with pytest.raises(ValueError, match="self-loop"):
+        with pytest.raises(InvalidGraphError, match="self-loop"):
             pandora([1], [1], [1.0])
 
     def test_negative_vertex_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(InvalidGraphError):
             pandora([-1], [0], [1.0])
 
     def test_length_mismatch_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(InvalidGraphError):
             pandora([0, 1], [1], [1.0])
+
+    def test_invalid_graph_error_is_value_error(self):
+        """Backwards compatibility: existing ValueError handlers keep
+        working, and the resilience layer classifies it permanent."""
+        assert issubclass(InvalidGraphError, ValueError)
+        assert InvalidGraphError.transient is False
 
     def test_infinite_weights_allowed(self):
         """inf is a valid (if odd) weight; ordering still works."""
@@ -38,20 +44,22 @@ class TestEdgeInputValidation:
 
 class TestNonTreeInputs:
     def test_cycle_input_detected(self):
-        """A cycle violates the alpha bound and must raise, not mis-build."""
+        """A cycle violates the alpha bound and must raise, not mis-build --
+        normalized to InvalidGraphError wherever it surfaces."""
         # triangle: 3 edges on 3 vertices
-        with pytest.raises((AssertionError, ValueError)):
+        with pytest.raises(InvalidGraphError):
             d, _ = pandora([0, 1, 2], [1, 2, 0], [3.0, 2.0, 1.0])
             d.validate()
 
     def test_forest_input_not_silently_wrong(self):
-        """Two components: PANDORA either raises or produces parents that
-        fail validation (the dendrogram of a forest is not a single tree)."""
+        """Two components: PANDORA either raises the normalized error or
+        produces parents that fail validation (the dendrogram of a forest
+        is not a single tree)."""
         try:
             d, _ = pandora([0, 2], [1, 3], [2.0, 1.0])
             with pytest.raises(ValueError):
                 d.validate()
-        except (AssertionError, ValueError, IndexError):
+        except InvalidGraphError:
             pass  # early detection is equally acceptable
 
     def test_contract_multilevel_terminates_on_parallel_edges(self):
@@ -61,7 +69,7 @@ class TestNonTreeInputs:
         try:
             levels = contract_multilevel(e.u, e.v, e.n_vertices)
             assert len(levels) <= 4
-        except AssertionError:
+        except InvalidGraphError:
             pass  # the alpha-bound guard firing is equally acceptable
 
 
