@@ -1,0 +1,221 @@
+"""Spatial front-end: kd-tree build / kNN / EMST / HDBSCAN at a million points.
+
+PR 7 rebuilt the point-cloud front-end on the backend kernel vocabulary:
+level-synchronous kd-tree construction over flat arrays, batched kNN
+descent, and dual-tree Boruvka with fused leaf-pair kernels.  This
+benchmark measures the phases the paper's end-to-end HDBSCAN* pipeline
+spends its time in -- tree build, ``k``-NN self-query, mutual-reachability
+EMST, and the full ``hdbscan()`` call -- on every JIT-relevant backend, at
+``scaled(1_000_000)`` points (artifact ``benchmarks/BENCH_spatial.json``;
+smoke runs write ``BENCH_spatial_smoke.json``).
+
+Acceptance bar (asserted only where it is measurable: numba installed and
+>= 4 cores, at >= ``GATE_MIN_POINTS``): end-to-end HDBSCAN on the
+``numba-parallel`` backend is **>= 2x** the numpy rate at full size,
+>= 1.2x at smoke scale.  Environments without numba record the measured
+numpy column ungated -- the committed artifact documents the baseline the
+parallel backend is gated against in CI.
+
+Correctness is gated unconditionally before any timing: every registered
+backend (JIT *and* interpreted twins) must produce bit-identical HDBSCAN
+dendrogram parents and MST total weight at ``PARITY_POINTS`` -- the
+determinism contract the spatial kernels are built around.  Interpreted
+twins validate the kernel definitions but are excluded from timing.
+
+Run as pytest (``pytest benchmarks/bench_spatial.py``) or directly
+(``PYTHONPATH=src python benchmarks/bench_spatial.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from conftest import scaled
+from repro.hdbscan import hdbscan
+from repro.parallel import (
+    available_backends,
+    backend_available,
+    debug_checks_set,
+    use_backend,
+)
+from repro.spatial import KDTree, emst, knn_graph
+
+N_POINTS = scaled(1_000_000)
+DIMS = 2
+MPTS = 4
+KNN_K = 8
+LEAF_SIZE = 96
+REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "3"))
+#: Below this many points the run is a smoke run: the artifact goes to the
+#: smoke file and the gate drops to the smoke ratio.
+FULL_SIZE = 500_000
+FULL_GATE = 2.0
+SMOKE_GATE = 1.2
+#: Below this many points the gate is recorded but never asserted: phases
+#: finish in milliseconds and the ratio measures dispatch overhead, not
+#: the kernels.
+GATE_MIN_POINTS = 200_000
+#: Cross-backend parity size -- bounded so the interpreted twins (pure
+#: Python kernel loops) stay affordable inside the bench.
+PARITY_POINTS = 2_500
+#: Backends worth timing; interpreted twins are parity-only.
+TIMED_BACKENDS = ("numpy", "numba", "numba-parallel")
+
+_DIR = os.path.dirname(__file__)
+ARTIFACT = os.path.join(_DIR, "BENCH_spatial.json")
+SMOKE_ARTIFACT = os.path.join(_DIR, "BENCH_spatial_smoke.json")
+
+
+def _points(n: int, seed: int = 1234) -> np.ndarray:
+    """Clustered cloud: Gaussian blobs plus uniform noise (a realistic
+    density mix -- pure uniform under-exercises Boruvka's long tail)."""
+    rng = np.random.default_rng(seed)
+    n_blobs = 16
+    centers = rng.random((n_blobs, DIMS)) * 10.0
+    which = rng.integers(0, n_blobs, size=n)
+    pts = centers[which] + rng.normal(0.0, 0.12, size=(n, DIMS))
+    n_noise = n // 10
+    pts[:n_noise] = rng.random((n_noise, DIMS)) * 10.0
+    return np.ascontiguousarray(pts)
+
+
+def _stats(samples: list[float]) -> dict:
+    return {"best": min(samples), "mean": float(np.mean(samples)),
+            "std": float(np.std(samples))}
+
+
+def _time_backend(name: str, pts: np.ndarray, repeats: int) -> dict:
+    """Best-of-``repeats`` seconds for each spatial phase on one backend."""
+    build_s, knn_s, emst_s, e2e_s = [], [], [], []
+    with use_backend(name) as backend, debug_checks_set(False):
+        if hasattr(backend, "warmup"):
+            backend.warmup()
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            tree = KDTree.build(pts, leaf_size=LEAF_SIZE)
+            t1 = time.perf_counter()
+            art = knn_graph(pts, KNN_K, tree=tree)
+            t2 = time.perf_counter()
+            mst = emst(pts, mpts=MPTS, knn=art)
+            t3 = time.perf_counter()
+            result = hdbscan(pts, mpts=MPTS, leaf_size=LEAF_SIZE)
+            t4 = time.perf_counter()
+            build_s.append(t1 - t0)
+            knn_s.append(t2 - t1)
+            emst_s.append(t3 - t2)
+            e2e_s.append(t4 - t3)
+            assert mst.n_edges == pts.shape[0] - 1
+            assert result.mst.w.sum() == mst.w.sum()  # artifact path parity
+    return {
+        "build": _stats(build_s),
+        "knn": _stats(knn_s),
+        "emst": _stats(emst_s),
+        "hdbscan_e2e": _stats(e2e_s),
+        "points_per_second": round(pts.shape[0] / min(e2e_s), 1),
+        "boruvka_rounds": int(mst.n_rounds),
+    }
+
+
+def _parity(n: int) -> dict:
+    """Bit-identity of dendrogram parents and MST total weight across every
+    registered backend (the PR acceptance bar), JIT or interpreted."""
+    pts = _points(n, seed=77)
+    ref_parent = ref_weight = None
+    checked = []
+    for name in available_backends():
+        if not backend_available(name):
+            continue
+        with use_backend(name), debug_checks_set(False):
+            got = hdbscan(pts, mpts=MPTS, leaf_size=32)
+        if ref_parent is None:
+            ref_parent = got.dendrogram.parent
+            ref_weight = got.mst.w.sum()
+        else:
+            if not np.array_equal(got.dendrogram.parent, ref_parent):
+                raise AssertionError(
+                    f"backend {name!r}: dendrogram parents differ"
+                )
+            if got.mst.w.sum() != ref_weight:
+                raise AssertionError(
+                    f"backend {name!r}: MST total weight differs "
+                    f"({got.mst.w.sum()!r} vs {ref_weight!r})"
+                )
+        checked.append(name)
+    return {"n_points": int(n), "backends": checked, "ok": True}
+
+
+def run_spatial_bench(
+    n_points: int = N_POINTS, repeats: int = REPEATS,
+    artifact: str | None = None,
+) -> dict:
+    if artifact is None:
+        artifact = ARTIFACT if n_points >= FULL_SIZE else SMOKE_ARTIFACT
+    parity = _parity(min(n_points, PARITY_POINTS))
+    pts = _points(n_points)
+    timed = {
+        name: _time_backend(name, pts, repeats)
+        for name in TIMED_BACKENDS if backend_available(name)
+    }
+    base = timed["numpy"]["hdbscan_e2e"]["best"]
+    speedup = {
+        name: round(base / max(col["hdbscan_e2e"]["best"], 1e-12), 3)
+        for name, col in timed.items()
+    }
+    cpus = os.cpu_count() or 1
+    gate = FULL_GATE if n_points >= FULL_SIZE else SMOKE_GATE
+    gated = ("numba-parallel" in timed and cpus >= 4
+             and n_points >= GATE_MIN_POINTS)
+    report = {
+        "bench": "spatial",
+        "cpu_count": cpus,
+        "n_points": int(n_points),
+        "dims": DIMS,
+        "mpts": MPTS,
+        "knn_k": KNN_K,
+        "leaf_size": LEAF_SIZE,
+        "repeats": int(repeats),
+        "unit": "seconds (best of repeats)",
+        "backends": timed,
+        "speedup_vs_numpy": speedup,
+        "parity": parity,
+        "gate": {
+            "baseline": "numpy",
+            "target": "numba-parallel",
+            "phase": "hdbscan_e2e",
+            "min_ratio": gate,
+            "measured_ratio": speedup.get("numba-parallel"),
+            "asserted": gated,
+        },
+    }
+    with open(artifact, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return report
+
+
+def test_spatial_bench():
+    report = run_spatial_bench()
+    e2e = {name: round(col["hdbscan_e2e"]["best"], 3)
+           for name, col in report["backends"].items()}
+    print(f"\n[spatial] n={report['n_points']} d={report['dims']} "
+          f"mpts={report['mpts']} cpus={report['cpu_count']}")
+    print(f"[spatial] hdbscan_e2e_seconds={e2e} "
+          f"speedup_vs_numpy={report['speedup_vs_numpy']}")
+    print(f"[spatial] parity ok across {report['parity']['backends']}")
+    full = report["n_points"] >= FULL_SIZE
+    assert os.path.exists(ARTIFACT if full else SMOKE_ARTIFACT)
+    assert report["parity"]["ok"]
+    gate = report["gate"]
+    if gate["asserted"]:
+        assert gate["measured_ratio"] >= gate["min_ratio"], (
+            f"numba-parallel end-to-end HDBSCAN only "
+            f"{gate['measured_ratio']}x numpy (gate {gate['min_ratio']}x)"
+        )
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_spatial_bench(), indent=2, sort_keys=True))

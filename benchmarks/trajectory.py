@@ -85,6 +85,15 @@ def _headline(name: str, data: dict) -> list[tuple[str, str]]:
             (f"fit_many 8-worker scaling [{backend}]",
              _fmt(_get(data, "scaling_vs_1_worker", "8"), "x")),
         ]
+    if bench == "spatial":
+        n = _get(data, "n_points")
+        return [
+            (f"hdbscan e2e seconds [numpy, n={_fmt(n)}]",
+             _fmt(_get(data, "backends", "numpy", "hdbscan_e2e", "best"),
+                  "s")),
+            ("numba-parallel e2e speedup vs numpy",
+             _fmt(_get(data, "speedup_vs_numpy", "numba-parallel"), "x")),
+        ]
     # Unknown artifact: surface its scalar fields rather than failing.
     scalars = [(k, _fmt(v)) for k, v in sorted(data.items())
                if isinstance(v, (int, float, str))][:3]

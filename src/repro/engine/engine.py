@@ -478,6 +478,30 @@ class Engine:
             policy=policy,
         )
 
+    def hdbscan_many(
+        self,
+        point_sets: Iterable[np.ndarray],
+        mpts: int = 2,
+        max_workers: int | None = None,
+        policy: ServePolicy | None = None,
+        **kwargs: Any,
+    ) -> list[HDBSCANResult]:
+        """Serve HDBSCAN* over many point clouds concurrently.
+
+        The point-cloud analogue of :meth:`fit_many`: jobs overlap across
+        the pool because the spatial front-end (kd-tree build, kNN, EMST
+        leaf interactions) runs through the backend's ``nogil`` kernel
+        realizations on the numba backends.  Under a ``policy``, ``knn``
+        -site faults and spatial validation errors flow through the same
+        retry/fallback taxonomy as edge-list jobs, and each item yields a
+        :class:`~repro.engine.resilience.JobResult` envelope (see
+        :meth:`map`).  ``kwargs`` are forwarded to :meth:`hdbscan`.
+        """
+        return self.map(
+            lambda pts: self.hdbscan(pts, mpts=mpts, **kwargs),
+            point_sets, max_workers, policy=policy,
+        )
+
     # -- introspection -----------------------------------------------------
     def cache_stats(self) -> dict[str, int]:
         return self.cache.stats()

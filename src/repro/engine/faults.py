@@ -23,6 +23,13 @@ Sites
     Artifact-cache insertion (:meth:`repro.engine.cache.ArtifactCache.put`).
     The cache degrades gracefully: an injected put failure is swallowed and
     counted, and the value is served uncached (see ``ArtifactCache``).
+``knn``
+    The spatial front-end's entry points (:meth:`repro.spatial.kdtree.
+    KDTree.build` and ``query_knn``) -- where point-cloud jobs spend most
+    of their time, so retries/fallbacks demonstrably cover them.  Spatial
+    validation failures raise :class:`repro.structures.edgelist.
+    InvalidGraphError`, which the PR-6 taxonomy already classifies as
+    permanent (no retry).
 
 Hook mechanism
 --------------
@@ -72,7 +79,9 @@ __all__ = [
 ]
 
 #: The named injection sites wired into the execution stack.
-FAULT_SITES: tuple[str, ...] = ("kernel", "sort", "workspace", "cache.put")
+FAULT_SITES: tuple[str, ...] = (
+    "kernel", "sort", "workspace", "cache.put", "knn"
+)
 
 
 class FaultInjected(RuntimeError):
@@ -296,11 +305,13 @@ def _install_hooks() -> None:
     """Install :func:`_hook` into every seam module (idempotent)."""
     from ..parallel import machine as _machine
     from ..parallel import workspace as _workspace
+    from ..spatial import kdtree as _kdtree
     from ..structures import edgelist as _edgelist
     from . import cache as _cache
 
     _machine._FAULT_HOOK = _hook
     _workspace._FAULT_HOOK = _hook
+    _kdtree._FAULT_HOOK = _hook
     _edgelist._FAULT_HOOK = _hook
     _cache._FAULT_HOOK = _hook
 

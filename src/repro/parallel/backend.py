@@ -327,6 +327,129 @@ class Backend:
         the key dtype so every valid key fits)."""
         raise NotImplementedError
 
+    # -- spatial kernel vocabulary (kd-tree / kNN / dual-tree Boruvka) -----
+    # The spatial front-end (``repro.spatial``) routes its hot kernels
+    # through these methods.  ``tree`` arguments are duck-typed flat-array
+    # kd-trees (``repro.spatial.kdtree.KDTree``): this module never imports
+    # the spatial package at import time, the reference realizations load
+    # ``repro.spatial.kernels`` lazily.  The cross-backend contract is the
+    # usual one -- bit-identical arrays, identical emitted records -- and
+    # every realization must be deterministic (no visit-order-dependent
+    # float math escapes a kernel; candidate ties break on point id).
+
+    def encode_floats_ascending(self, values, name: str | None = None):
+        """Order-preserving monotone float64 -> u64 keys, *ascending*.
+
+        The radix-sort float transform (flip negatives, set the sign bit of
+        non-negatives) with the sortlib special-value policy: ``-0.0`` keys
+        equal to ``+0.0`` and every NaN maps to the all-ones key (sorts
+        last).  Returns workspace scratch (slot ``spatial.fkey``).
+        """
+        raise NotImplementedError
+
+    def _argsort_u64(self, keys) -> np.ndarray:
+        """Stable ascending argsort of u64 keys (internal hook, no record).
+
+        Strategy follows the active ``radix_sort`` hot-path flag exactly as
+        the sort vocabulary does; any stable realization yields the same
+        permutation, which is what keeps :meth:`spatial_partition`
+        bit-identical across backends.
+        """
+        if not hotpath_config().radix_sort:
+            return np.argsort(keys, kind="stable")
+        return sortlib.stable_argsort_unsigned(keys, workspace=self.workspace)
+
+    def spatial_partition(
+        self, seg, coords, n_segs: int, name: str | None = "kdtree.partition"
+    ) -> np.ndarray:
+        """Segmented coordinate sort: the kd-tree's level-synchronous split.
+
+        ``seg`` holds the (already grouped, ascending) segment id of every
+        element and ``coords`` its split-dimension coordinate; the returned
+        permutation orders the whole level by ``(segment, coordinate,
+        position)`` -- i.e. sorts every node's slice independently, stably,
+        in one bulk kernel.  Concrete: composed from the key encode and the
+        two stable argsorts the subclasses already specialize.
+        """
+        self._emit(name, "sort", int(coords.size))
+        key = self.encode_floats_ascending(coords, name=None)
+        o1 = self._argsort_u64(key)
+        o2 = self.argsort_bounded(
+            seg[o1], 0, max(int(n_segs) - 1, 0), name=None
+        )
+        return o1[o2]
+
+    def spatial_knn(
+        self, tree, queries, k: int, name: str | None = "kdtree.knn"
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Exact batched kNN against a built kd-tree.
+
+        Returns ``(d2, ids)`` of shape ``(m, k)``: for every query, the
+        ``k`` nearest points by ``(squared distance, point id)`` ascending
+        lexicographic order -- a *unique* answer set, which is what makes
+        the kNN artifact bit-identical across realizations (traversal
+        order, and hence visit counts, are free to differ; one logical
+        ``map`` record of ``m * k`` is emitted regardless).  ``ids`` carry
+        the tree's index dtype.
+        """
+        raise NotImplementedError
+
+    def spatial_node_reduce(
+        self, tree, values_perm, kind: str,
+        name: str | None = "emst.node_aggregate",
+    ) -> np.ndarray:
+        """Bottom-up per-node min/max of a tree-order per-point array.
+
+        ``values_perm`` is indexed by tree position (``indices`` order);
+        returns one reduced value per node.  ``kind`` is ``"min"`` or
+        ``"max"``.  Exact (min/max never rounds), so bit-identity across
+        backends is free.
+        """
+        raise NotImplementedError
+
+    def spatial_seed_scan(
+        self, labels, knn_i, knn_d2, core2, mutual: bool,
+        out_d2, out_q, name: str | None = "emst.seed",
+    ) -> None:
+        """Boruvka seeding: each point's best foreign kNN entry.
+
+        Fills ``out_d2``/``out_q`` per point with the smallest (mutual-
+        reachability lifted when ``mutual``) distance to a neighbor outside
+        the point's component and that neighbor's id; ``inf``/``-1`` when
+        the whole row is same-component.  Ties keep the first (nearest-
+        rank) column -- deterministic on every backend.
+        """
+        raise NotImplementedError
+
+    def spatial_leaf_pairs(
+        self, tree, leaf_a, leaf_b, pair_lb, labels_perm, core2_perm,
+        mutual: bool, bound_d2, offsets,
+        out_comp, out_d2, out_p, out_q,
+        name: str | None = "emst.leaf_pairs",
+    ) -> None:
+        """Batched leaf-leaf Boruvka interaction over a whole frontier level.
+
+        For pair ``t`` (leaves ``leaf_a[t]``, ``leaf_b[t]``) every point of
+        either side gets one output slot (A-side points in tree order, then
+        B-side, at ``offsets[t]``): its nearest foreign point in the
+        opposite leaf -- component, squared distance, and the two point ids
+        -- when that strictly improves the component's *frozen* bound
+        ``bound_d2`` and the bound exceeds the pair's lower bound
+        ``pair_lb[t]``; ``inf`` distance otherwise.  Slots are disjoint, so
+        a parallel realization is race-free; bounds are read-only inside
+        the kernel (level-synchronous tightening happens in the driver),
+        so results are schedule-independent.  Ties keep the first point in
+        tree order.  One ``map`` record of the summed block work.
+        """
+        raise NotImplementedError
+
+
+#: Monotone float64 -> u64 key masks (shared by the spatial key encode).
+_F64_SIGN = np.uint64(0x8000000000000000)
+_F64_FULL = np.uint64(0xFFFFFFFFFFFFFFFF)
+_F64_NOSIGN = np.uint64(0x7FFFFFFFFFFFFFFF)
+_F64_EXP = np.uint64(0x7FF0000000000000)
+
 
 class NumpyBackend(Backend):
     """Reference backend: bulk vectorized NumPy kernels.
@@ -567,6 +690,66 @@ class NumpyBackend(Backend):
         out += side
         out[anchor < 0] = -1
         return out
+
+    # -- spatial kernel vocabulary -----------------------------------------
+    # Reference realizations: bulk NumPy passes, extracted from the
+    # pre-backend spatial code.  The block-structured bodies live in
+    # ``repro.spatial.kernels`` (imported lazily: the spatial package sits
+    # above this module in the layering).
+
+    def encode_floats_ascending(self, values, name: str | None = None):
+        self._emit(name, "map", int(np.size(values)))
+        v = np.ascontiguousarray(values, dtype=np.float64)
+        bits = v.view(np.uint64)
+        out = self.take("spatial.fkey", bits.size, np.uint64)
+        neg = (bits & _F64_SIGN).astype(bool)
+        np.copyto(out, np.where(neg, ~bits, bits | _F64_SIGN))
+        out[bits == _F64_SIGN] = _F64_SIGN    # -0.0 keys equal to +0.0
+        out[(bits & _F64_NOSIGN) > _F64_EXP] = _F64_FULL  # NaN sorts last
+        return out
+
+    def spatial_knn(
+        self, tree, queries, k: int, name: str | None = "kdtree.knn"
+    ) -> tuple[np.ndarray, np.ndarray]:
+        self._emit(name, "map", int(queries.shape[0]) * int(k))
+        from ..spatial import kernels as _spk
+
+        d2, ids = _spk.knn_blockwise(tree, queries, k)
+        return d2, ids.astype(tree.indices.dtype, copy=False)
+
+    def spatial_node_reduce(
+        self, tree, values_perm, kind: str,
+        name: str | None = "emst.node_aggregate",
+    ) -> np.ndarray:
+        self._emit(name, "reduce", int(tree.n_nodes))
+        from ..spatial import kernels as _spk
+
+        return _spk.node_reduce(tree, values_perm, kind)
+
+    def spatial_seed_scan(
+        self, labels, knn_i, knn_d2, core2, mutual: bool,
+        out_d2, out_q, name: str | None = "emst.seed",
+    ) -> None:
+        self._emit(name, "map", int(np.size(knn_i)))
+        from ..spatial import kernels as _spk
+
+        _spk.seed_scan(labels, knn_i, knn_d2, core2, mutual, out_d2, out_q)
+
+    def spatial_leaf_pairs(
+        self, tree, leaf_a, leaf_b, pair_lb, labels_perm, core2_perm,
+        mutual: bool, bound_d2, offsets,
+        out_comp, out_d2, out_p, out_q,
+        name: str | None = "emst.leaf_pairs",
+    ) -> None:
+        sizes_a = (tree.end[leaf_a] - tree.start[leaf_a]).astype(np.int64)
+        sizes_b = (tree.end[leaf_b] - tree.start[leaf_b]).astype(np.int64)
+        self._emit(name, "map", int(sizes_a @ sizes_b))
+        from ..spatial import kernels as _spk
+
+        _spk.leaf_pairs(
+            tree, leaf_a, leaf_b, pair_lb, labels_perm, core2_perm,
+            mutual, bound_d2, offsets, out_comp, out_d2, out_p, out_q,
+        )
 
 
 # ---------------------------------------------------------------------------

@@ -217,6 +217,200 @@ def _k_weight_keys_par(bits, out):
             out[i] = m ^ _FULL
 
 
+def _k_coord_keys_par(bits, out):
+    """Elementwise ascending float64-bits -> u64 key, in prange.
+
+    Same transform and special-value policy as the sequential
+    ``_k_coord_keys``, byte for byte.
+    """
+    for i in prange(bits.size):
+        b = bits[i]
+        if (b & _NOSIGN) > _EXP:  # NaN: one shared maximal key
+            out[i] = _FULL
+        else:
+            if b == _SIGN:  # -0.0 keys equal to +0.0
+                b = _ZERO
+            if b & _SIGN:
+                out[i] = b ^ _FULL
+            else:
+                out[i] = b | _SIGN
+
+
+def _k_knn_query_par(points, indices, split_dim, split_val, left, right,
+                     start, end, box_lo, box_hi, queries, k, out_d2, out_id):
+    """Batched kNN with queries spread over cores.
+
+    Queries are fully independent (each owns its output rows and a private
+    traversal stack), so the prange is race-free and the answer -- the
+    unique k-smallest-(d2, id) set per query -- is scheduling-invariant.
+    """
+    n = indices.size
+    m = queries.shape[0]
+    dims = points.shape[1]
+    for q in prange(m):
+        for j in range(k):
+            out_d2[q, j] = np.inf
+            out_id[q, j] = n
+        stack = np.empty(128, dtype=np.int64)
+        stack[0] = 0
+        top = 1
+        while top > 0:
+            top -= 1
+            node = stack[top]
+            lb = 0.0
+            for c in range(dims):
+                x = queries[q, c]
+                lo = box_lo[node, c]
+                hi = box_hi[node, c]
+                if x < lo:
+                    t = lo - x
+                    lb += t * t
+                elif x > hi:
+                    t = x - hi
+                    lb += t * t
+            if lb > out_d2[q, k - 1]:
+                continue
+            lc = left[node]
+            if lc == -1:
+                for ii in range(start[node], end[node]):
+                    pid = indices[ii]
+                    d2 = 0.0
+                    for c in range(dims):
+                        t = queries[q, c] - points[pid, c]
+                        d2 += t * t
+                    last_d = out_d2[q, k - 1]
+                    last_i = out_id[q, k - 1]
+                    if d2 < last_d or (d2 == last_d and pid < last_i):
+                        j = k - 1
+                        while j > 0 and (
+                            out_d2[q, j - 1] > d2
+                            or (out_d2[q, j - 1] == d2
+                                and out_id[q, j - 1] > pid)
+                        ):
+                            out_d2[q, j] = out_d2[q, j - 1]
+                            out_id[q, j] = out_id[q, j - 1]
+                            j -= 1
+                        out_d2[q, j] = d2
+                        out_id[q, j] = pid
+            else:
+                rc = right[node]
+                if queries[q, split_dim[node]] < split_val[node]:
+                    near = lc
+                    far = rc
+                else:
+                    near = rc
+                    far = lc
+                stack[top] = far
+                top += 1
+                stack[top] = near
+                top += 1
+
+
+def _k_seed_scan_par(labels, knn_i, knn_d2, core2, mutual, out_d2, out_q):
+    """Per-point foreign-neighbor scan in prange (rows are independent)."""
+    n = labels.size
+    k = knn_i.shape[1]
+    for i in prange(n):
+        bd = np.inf
+        bq = np.int64(-1)
+        li = labels[i]
+        for j in range(k):
+            q = knn_i[i, j]
+            if labels[q] == li:
+                continue
+            d2 = knn_d2[i, j]
+            if mutual:
+                if core2[i] > d2:
+                    d2 = core2[i]
+                if core2[q] > d2:
+                    d2 = core2[q]
+            if d2 < bd:
+                bd = d2
+                bq = q
+        out_d2[i] = bd
+        out_q[i] = bq
+
+
+def _k_leaf_pairs_par(leaf_a, leaf_b, pair_lb, start, end, indices,
+                      points_perm, labels_perm, core2_perm, mutual, bound_d2,
+                      offsets, out_comp, out_d2, out_p, out_q):
+    """Leaf-leaf interactions with pairs spread over cores.
+
+    Every pair owns the disjoint output slots ``offsets[t] ..`` and reads
+    only frozen inputs, so the prange is race-free and bit-identical to the
+    sequential kernel whatever the schedule.
+    """
+    dims = points_perm.shape[1]
+    for t in prange(leaf_a.size):
+        a = leaf_a[t]
+        b = leaf_b[t]
+        lb = pair_lb[t]
+        sa = start[a]
+        ea = end[a]
+        sb = start[b]
+        eb = end[b]
+        base = offsets[t]
+        for i in range(sa, ea):
+            slot = base + (i - sa)
+            comp = labels_perm[i]
+            bnd = bound_d2[comp]
+            best = np.inf
+            bj = np.int64(-1)
+            if bnd > lb:
+                for j in range(sb, eb):
+                    if labels_perm[j] == comp:
+                        continue
+                    d2 = 0.0
+                    for c in range(dims):
+                        tt = points_perm[i, c] - points_perm[j, c]
+                        d2 += tt * tt
+                    if mutual:
+                        if core2_perm[i] > d2:
+                            d2 = core2_perm[i]
+                        if core2_perm[j] > d2:
+                            d2 = core2_perm[j]
+                    if d2 < best:
+                        best = d2
+                        bj = j
+            if bj >= 0 and best < bnd:
+                out_comp[slot] = comp
+                out_d2[slot] = best
+                out_p[slot] = indices[i]
+                out_q[slot] = indices[bj]
+            else:
+                out_d2[slot] = np.inf
+        base_b = base + (ea - sa)
+        for j in range(sb, eb):
+            slot = base_b + (j - sb)
+            comp = labels_perm[j]
+            bnd = bound_d2[comp]
+            best = np.inf
+            bi = np.int64(-1)
+            if bnd > lb:
+                for i in range(sa, ea):
+                    if labels_perm[i] == comp:
+                        continue
+                    d2 = 0.0
+                    for c in range(dims):
+                        tt = points_perm[j, c] - points_perm[i, c]
+                        d2 += tt * tt
+                    if mutual:
+                        if core2_perm[j] > d2:
+                            d2 = core2_perm[j]
+                        if core2_perm[i] > d2:
+                            d2 = core2_perm[i]
+                    if d2 < best:
+                        best = d2
+                        bi = i
+            if bi >= 0 and best < bnd:
+                out_comp[slot] = comp
+                out_d2[slot] = best
+                out_p[slot] = indices[j]
+                out_q[slot] = indices[bi]
+            else:
+                out_d2[slot] = np.inf
+
+
 def _k_radix_count(keys, perm, use_perm, shift, dmask, counts, n_chunks):
     """Per-chunk digit histograms (digit extraction fused into the pass).
 
@@ -285,12 +479,20 @@ _PY_PAR_KERNELS = {
     "weight_keys": _k_weight_keys_par,
     "radix_count": _k_radix_count,
     "radix_scatter": _k_radix_scatter,
+    "coord_keys": _k_coord_keys_par,
+    "knn_query": _k_knn_query_par,
+    "seed_scan": _k_seed_scan_par,
+    "leaf_pairs": _k_leaf_pairs_par,
 }
 _PY_SEQ_KERNELS = {
     "scatter_last": _PY_KERNELS["scatter_last"],
     "scatter_max": _PY_KERNELS["scatter_max"],
     "scatter_max_pairs": _PY_KERNELS["scatter_max_pairs"],
     "radix_scan": _k_radix_scan,
+    # Bottom-up tree reductions carry a child->parent dependency chain, so
+    # they stay sequential-but-nogil (concurrent jobs still overlap them).
+    "tree_reduce_min": _PY_KERNELS["tree_reduce_min"],
+    "tree_reduce_max": _PY_KERNELS["tree_reduce_max"],
 }
 
 
@@ -403,6 +605,13 @@ class NumbaParallelBackend(NumbaBackend):
         biased = sortlib.bias_bounded_keys(keys, min_key, max_key,
                                            workspace=self.workspace)
         return self._argsort_unsigned(biased)
+
+    def _argsort_u64(self, keys: np.ndarray) -> np.ndarray:
+        # Spatial-partition sort hook: same windows as sortlib's engine,
+        # realized by the parallel-histogram passes (identical permutation).
+        if not hotpath_config().radix_sort:
+            return np.argsort(keys, kind="stable")
+        return self._argsort_unsigned(keys)
 
     def warmup(self) -> None:
         """Compile (or touch) every kernel, including the radix passes.

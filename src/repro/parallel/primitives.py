@@ -45,6 +45,11 @@ __all__ = [
     "compact",
     "segmented_first",
     "unique_labels",
+    "spatial_partition",
+    "spatial_knn",
+    "spatial_node_reduce",
+    "spatial_seed_scan",
+    "spatial_leaf_pairs",
 ]
 
 
@@ -181,3 +186,53 @@ def unique_labels(labels: np.ndarray, name: str = "relabel") -> tuple[np.ndarray
     relabeling kernel sequence.
     """
     return get_backend().unique_labels(labels, name=name)
+
+
+# --------------------------------------------------------------------------
+# Spatial kernel vocabulary (kd-tree / dual-tree Boruvka front-end)
+# --------------------------------------------------------------------------
+
+
+def spatial_partition(
+    seg: np.ndarray, coords: np.ndarray, n_segs: int,
+    name: str = "kdtree.partition",
+) -> np.ndarray:
+    """Segmented stable argsort by coordinate: one kd-tree build level."""
+    return get_backend().spatial_partition(seg, coords, n_segs, name=name)
+
+
+def spatial_knn(
+    tree, queries: np.ndarray, k: int, name: str = "kdtree.knn"
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact batched kNN over a kd-tree; returns ``(d2, ids)``."""
+    return get_backend().spatial_knn(tree, queries, k, name=name)
+
+
+def spatial_node_reduce(
+    tree, values_perm: np.ndarray, kind: str,
+    name: str = "emst.node_aggregate",
+) -> np.ndarray:
+    """Bottom-up per-node min/max of a tree-order per-point array."""
+    return get_backend().spatial_node_reduce(tree, values_perm, kind, name=name)
+
+
+def spatial_seed_scan(
+    labels, knn_i, knn_d2, core2, mutual, out_d2, out_q,
+    name: str = "emst.seed",
+) -> None:
+    """Per-point best foreign kNN entry (Boruvka candidate seeding)."""
+    get_backend().spatial_seed_scan(
+        labels, knn_i, knn_d2, core2, mutual, out_d2, out_q, name=name
+    )
+
+
+def spatial_leaf_pairs(
+    tree, leaf_a, leaf_b, pair_lb, labels_perm, core2_perm, mutual,
+    bound_d2, offsets, out_comp, out_d2, out_p, out_q,
+    name: str = "emst.leaf_pairs",
+) -> None:
+    """Batched leaf-leaf candidate updates for one traversal level."""
+    get_backend().spatial_leaf_pairs(
+        tree, leaf_a, leaf_b, pair_lb, labels_perm, core2_perm, mutual,
+        bound_d2, offsets, out_comp, out_d2, out_p, out_q, name=name
+    )

@@ -3,35 +3,45 @@
 This is the reproduction of the paper's EMST substrate (ArborX's
 tree-accelerated Boruvka [39]): each Boruvka round finds, for every
 component, its closest *foreign* point pair, using the kd-tree to prune
-interactions.
+interactions.  Every round sub-step is a bulk kernel routed through the
+spatial vocabulary of :class:`repro.parallel.backend.Backend`, so the whole
+front-end JIT-fuses and releases the GIL on the numba backends.
 
 Round structure:
 
-1. **Seed** -- each point scans its precomputed kNN list for its nearest
-   neighbor outside its component; this initializes per-component candidate
-   upper bounds (in early rounds the kNN list almost always contains the true
-   answer, so the tree traversal only verifies).
-2. **Aggregate** -- per tree node, bottom-up: the single component id beneath
-   it (or -1 if mixed) and a pruning bound (max over contained components'
-   current candidate distances).  Leaf aggregates are one ``reduceat`` over
-   the tree-permuted arrays.
-3. **Traverse** -- best-first over node pairs ordered by box-to-box lower
-   bound; a pair (A, B) is pruned when every component in A and B already has
-   a candidate at least as good, or when both sides are the same single
-   component.  Leaf-leaf interactions are distance blocks over contiguous
-   views with same-component pairs masked; updates are bilateral.
+1. **Seed** -- one batched scan of the precomputed kNN table
+   (:func:`~repro.parallel.primitives.spatial_seed_scan`) finds each point's
+   nearest neighbor outside its component; this initializes per-component
+   candidate upper bounds (in early rounds the kNN list almost always
+   contains the true answer, so the tree traversal only verifies).
+2. **Aggregate** -- per tree node, bottom-up
+   (:func:`~repro.parallel.primitives.spatial_node_reduce`): the single
+   component id beneath it (or -1 if mixed) and a pruning bound (max over
+   contained components' candidate distances).
+3. **Traverse** -- level-synchronous over node pairs: lower bounds,
+   same-component tests and bound pruning are single vectorized passes over
+   the whole frontier, and *all* surviving leaf-leaf interactions of a level
+   run as one batched kernel
+   (:func:`~repro.parallel.primitives.spatial_leaf_pairs`) against bounds
+   frozen at the level start -- every pair is independent, which is what
+   makes the kernel embarrassingly parallel yet bit-deterministic.  The
+   improvements found by the batch tighten the bounds before the next level
+   is filtered.
 4. **Contract** -- every component's best pair becomes an MST edge.  A
-   union-find cycle guard drops redundant picks: under mutual reachability,
-   exact weight ties are common (the same core distance can dominate several
+   cycle guard drops redundant picks: under mutual reachability, exact
+   weight ties are common (the same core distance can dominate several
    pairs), and two components may legitimately nominate *different*
-   equal-weight edges between the same component pair.  Any such choice
-   yields a valid MST (single-linkage results are invariant to it), but the
-   guard is required to keep the output a tree.
+   equal-weight edges between the same component pair.  The guard ranks the
+   round's candidate edges by the strict total order (weight, lo, hi) and
+   keeps exactly the edges sequential Kruskal would -- computed by a
+   vectorized priority-Boruvka loop (:func:`_forest_guard`) instead of a
+   Python union-find walk.
 
 Exactness: pruning only discards pairs provably unable to improve any
-component's candidate, and candidate resolution takes the global minimum per
-component, so each round adds exactly the Boruvka edges of the full metric
-graph.  Tests verify against dense-matrix MSTs.
+component's candidate (frozen bounds only ever over-estimate), and candidate
+resolution takes the global minimum per component, so each round adds
+exactly the Boruvka edges of the full metric graph.  Tests verify against
+dense-matrix MSTs.
 """
 
 from __future__ import annotations
@@ -40,10 +50,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..parallel.backend import get_backend
 from ..parallel.connected import connected_components
 from ..parallel.machine import emit
-from ..parallel.unionfind import UnionFind
-from .distances import sq_dist_block
+from ..parallel.primitives import (
+    scatter_min_at,
+    spatial_leaf_pairs,
+    spatial_node_reduce,
+    spatial_seed_scan,
+)
+from ..parallel.workspace import index_dtype
 from .kdtree import KDTree
 
 __all__ = ["EMSTResult", "KNNArtifact", "emst", "core_distances", "knn_graph"]
@@ -58,12 +74,14 @@ class KNNArtifact:
     because kNN rows are sorted ascending, slicing the first ``k'`` columns
     reproduces a direct ``k'``-column query bit-for-bit (ties aside), so
     sharing the artifact leaves each per-``mpts`` result identical to an
-    unshared run.  Treat all fields as immutable.
+    unshared run.  The arrays are bit-identical across all registered
+    backends (``ids`` carries the tree's adaptive index dtype).  Treat all
+    fields as immutable.
     """
 
     tree: KDTree
     dists: np.ndarray        # (n, k) distances, rows ascending
-    ids: np.ndarray          # (n, k) neighbor ids
+    ids: np.ndarray          # (n, k) neighbor ids, tree index dtype
 
     @property
     def n_points(self) -> int:
@@ -187,27 +205,25 @@ def emst(
         knn_i = knn.ids[:, :k_use]
         col = min(mpts, n) - 1
         core = knn.dists[:, col] if col > 0 else np.zeros(n)
+    mutual = mpts > 1
     core2 = core * core
     knn_d2 = knn_d * knn_d
 
-    # Tree-order views used by leaf interactions and reduceat aggregates.
-    pts_perm = tree.points_perm
+    # Tree-order views used by leaf interactions and per-node aggregates.
     core2_perm = core2[tree.indices]
-    leaves = tree.leaves_by_start()
-    leaf_starts = tree.start[leaves]
-    internal_desc = np.array(
-        [i for i in range(tree.n_nodes - 1, -1, -1) if tree.left[i] != -1],
-        dtype=np.int64,
+    node_min_core2 = (
+        spatial_node_reduce(tree, core2_perm, "min") if mutual else None
     )
 
-    node_min_core2 = _node_aggregate(
-        tree, leaves, leaf_starts, internal_desc, core2_perm, np.minimum, np.inf
-    )
+    labels = np.arange(n, dtype=index_dtype(n))
+    bk = get_backend()
+    seed_d2 = bk.take("emst.seed_d2", n, np.float64)
+    seed_q = bk.take("emst.seed_q", n, np.int64)
+    rows = np.arange(n, dtype=np.int64)
 
-    labels = np.arange(n, dtype=np.int64)
-    mst_u: list[int] = []
-    mst_v: list[int] = []
-    mst_w2: list[float] = []
+    mst_u: list[np.ndarray] = []
+    mst_v: list[np.ndarray] = []
+    mst_w2: list[np.ndarray] = []
     n_rounds = 0
     n_pair_visits = 0
     n_comp = n
@@ -216,28 +232,27 @@ def emst(
         n_rounds += 1
         best_d2 = np.full(n, np.inf)  # indexed by component representative
         cand = _Candidates()
-        _seed_from_knn(labels, knn_d2, knn_i, core2, mpts, best_d2, cand)
+
+        spatial_seed_scan(
+            labels, knn_i, knn_d2, core2, mutual, seed_d2, seed_q
+        )
+        ok = seed_q[:n] >= 0
+        if ok.any():
+            p = rows[ok]
+            comp = labels[p].astype(np.int64)
+            cand.add(comp, seed_d2[:n][ok], p, seed_q[:n][ok])
+            np.minimum.at(best_d2, comp, seed_d2[:n][ok])
 
         labels_perm = labels[tree.indices]
-        node_lo = _node_aggregate(
-            tree, leaves, leaf_starts, internal_desc, labels_perm,
-            np.minimum, np.iinfo(labels_perm.dtype).max,
-        )
-        node_hi = _node_aggregate(
-            tree, leaves, leaf_starts, internal_desc, labels_perm,
-            np.maximum, np.iinfo(labels_perm.dtype).min,
-        )
-        node_comp = np.where(node_lo == node_hi, node_lo, -1)
-        node_bound2 = _node_aggregate(
-            tree, leaves, leaf_starts, internal_desc, best_d2[labels_perm],
-            np.maximum, 0.0,
-        )
+        node_lo = spatial_node_reduce(tree, labels_perm, "min")
+        node_hi = spatial_node_reduce(tree, labels_perm, "max")
+        node_comp = np.where(node_lo == node_hi, node_lo, -1).astype(np.int64)
+        node_bound2 = spatial_node_reduce(tree, best_d2[labels_perm], "max")
 
-        visits = _traverse(
-            tree, labels_perm, core2_perm, mpts, best_d2, cand,
-            node_comp, node_bound2, node_min_core2, pts_perm,
+        n_pair_visits += _traverse(
+            tree, labels_perm, core2_perm, mutual, best_d2, cand,
+            node_comp, node_bound2, node_min_core2,
         )
-        n_pair_visits += visits
 
         cu, cv, cw2 = _resolve_candidates(n, cand)
         if cu.size == 0:
@@ -246,28 +261,25 @@ def emst(
             )
         # Cycle guard (see module docstring): keep only merging picks, in
         # deterministic (weight, endpoints) order.
-        guard = UnionFind(n)
-        added = 0
-        for p, q, d2 in zip(cu.tolist(), cv.tolist(), cw2.tolist()):
-            ra, rb = guard.find(int(labels[p])), guard.find(int(labels[q]))
-            if ra != rb:
-                guard.union(ra, rb)
-                mst_u.append(p)
-                mst_v.append(q)
-                mst_w2.append(d2)
-                added += 1
+        keep = _forest_guard(
+            n, labels[cu].astype(np.int64), labels[cv].astype(np.int64)
+        )
+        added = int(np.count_nonzero(keep))
         if added == 0:
             raise AssertionError("cycle guard rejected every candidate edge")
+        mst_u.append(cu[keep])
+        mst_v.append(cv[keep])
+        mst_w2.append(cw2[keep])
         merged = connected_components(
-            n, np.stack([labels[cu], labels[cv]], axis=1)
+            n, np.stack([labels[cu[keep]], labels[cv[keep]]], axis=1)
         )
-        labels = merged[labels]
+        labels = merged[labels].astype(labels.dtype, copy=False)
         emit("emst.compose_labels", "gather", n)
-        n_comp = int(np.unique(labels).size)
+        n_comp -= added
 
-    u = np.asarray(mst_u, dtype=np.int64)
-    v = np.asarray(mst_v, dtype=np.int64)
-    w = np.sqrt(np.asarray(mst_w2, dtype=np.float64))
+    u = np.concatenate(mst_u).astype(np.int64)
+    v = np.concatenate(mst_v).astype(np.int64)
+    w = np.sqrt(np.concatenate(mst_w2))
     return EMSTResult(u, v, w, core, n_rounds, n_pair_visits)
 
 
@@ -294,107 +306,45 @@ class _Candidates:
         self.qs.append(np.asarray(q, dtype=np.int64))
 
 
-def _seed_from_knn(
-    labels: np.ndarray,
-    knn_d2: np.ndarray,
-    knn_i: np.ndarray,
-    core2: np.ndarray,
-    mpts: int,
-    best_d2: np.ndarray,
-    cand: _Candidates,
-) -> None:
-    """Per-point best foreign kNN entry -> per-component candidate seeds.
-
-    One vectorized pass over the whole (n, k) kNN table.  Under mutual
-    reachability the metric is not monotone in the kNN rank (a far neighbor
-    can have a smaller core), so the minimum is taken across all columns
-    rather than the first foreign one.
-    """
-    n, k = knn_i.shape
-    d2 = np.where(labels[knn_i] != labels[:, None], knn_d2, np.inf)
-    if mpts > 1:
-        np.maximum(d2, core2[:, None], out=d2)
-        np.maximum(d2, core2[knn_i], out=d2)
-        d2[labels[knn_i] == labels[:, None]] = np.inf
-    j = np.argmin(d2, axis=1)
-    rows = np.arange(n)
-    dmin = d2[rows, j]
-    ok = np.isfinite(dmin)
-    if ok.any():
-        p = rows[ok]
-        q = knn_i[p, j[ok]]
-        comp = labels[p]
-        cand.add(comp, dmin[ok], p, q)
-        np.minimum.at(best_d2, comp, dmin[ok])
-    emit("emst.seed", "map", n * k)
-
-
-def _node_aggregate(
-    tree: KDTree,
-    leaves: np.ndarray,
-    leaf_starts: np.ndarray,
-    internal_desc: np.ndarray,
-    values_perm: np.ndarray,
-    op,
-    identity,
-) -> np.ndarray:
-    """Bottom-up per-node reduction of a tree-order per-point array.
-
-    Leaves are one ``op.reduceat`` over the permuted values (their slices
-    partition [0, n)); internal nodes combine children in reverse-id order
-    (children always have larger ids than their parent).
-    """
-    out = np.full(tree.n_nodes, identity, dtype=values_perm.dtype)
-    out[leaves] = op.reduceat(values_perm, leaf_starts)
-    left, right = tree.left, tree.right
-    o = out  # local alias for the loop
-    for node in internal_desc.tolist():
-        a = o[left[node]]
-        b = o[right[node]]
-        o[node] = a if (a <= b) == (op is np.minimum) else b
-    emit("emst.node_aggregate", "reduce", tree.n_nodes)
-    return out
-
-
 def _traverse(
     tree: KDTree,
     labels_perm: np.ndarray,
     core2_perm: np.ndarray,
-    mpts: int,
+    mutual: bool,
     best_d2: np.ndarray,
     cand: _Candidates,
     node_comp: np.ndarray,
     node_bound2: np.ndarray,
-    node_min_core2: np.ndarray,
-    pts_perm: np.ndarray,
+    node_min_core2: np.ndarray | None,
 ) -> int:
     """Level-synchronous dual-tree traversal; returns the pair-visit count.
 
     The frontier of candidate node pairs is processed in bulk: lower bounds,
     same-component tests and bound pruning are single vectorized passes over
-    the whole frontier (the GPU-natural formulation).  Leaf-leaf survivors
-    run their distance blocks -- which tightens ``best_d2`` -- *before* the
-    next frontier level is filtered, so pruning benefits from fresh bounds
-    level by level.  Leaf pairs are processed nearest-first within a level
-    to tighten bounds as early as possible.
+    the whole frontier (the GPU-natural formulation).  All surviving
+    leaf-leaf pairs of a level run as ONE batched backend kernel against
+    bounds frozen at the level start; their improvements tighten ``best_d2``
+    before the next level is filtered.
     """
     box_lo, box_hi = tree.box_lo, tree.box_hi
     start, end, left, right = tree.start, tree.end, tree.left, tree.right
-    indices = tree.indices
     n_pts = end - start
     n_nodes = tree.n_nodes
+    bk = get_backend()
 
     def lower_bounds(a: np.ndarray, b: np.ndarray) -> np.ndarray:
         delta = np.maximum(box_lo[a] - box_hi[b], 0.0)
         delta += np.maximum(box_lo[b] - box_hi[a], 0.0)
         lb = np.einsum("ij,ij->i", delta, delta)
-        if mpts > 1:
+        if mutual:
             np.maximum(lb, node_min_core2[a], out=lb)
             np.maximum(lb, node_min_core2[b], out=lb)
         emit("emst.pair_bounds", "map", int(a.size))
         return lb
 
-    def prune(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    def prune(
+        a: np.ndarray, b: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Drop same-component and bound-hopeless pairs (vectorized)."""
         ca = node_comp[a]
         cb = node_comp[b]
@@ -410,31 +360,44 @@ def _traverse(
             ok = lb < np.maximum(bound_a, bound_b)
             sel = np.nonzero(alive)[0][ok]
             emit("emst.pair_prune", "map", int(a.size))
-            return a[sel], b[sel]
-        return a[:0], b[:0]
+            return a[sel], b[sel], lb[ok]
+        return a[:0], b[:0], np.zeros(0)
 
     visits = 0
     fa = np.zeros(1, dtype=np.int64)
     fb = np.zeros(1, dtype=np.int64)
     while fa.size:
         visits += int(fa.size)
-        fa, fb = prune(fa, fb)
+        fa, fb, flb = prune(fa, fb)
+        if fa.size == 0:
+            break
         a_leaf = left[fa] == -1
         b_leaf = left[fb] == -1
         both_leaf = a_leaf & b_leaf
 
-        # Leaf-leaf interactions, nearest pairs first for bound tightening.
+        # Batched leaf-leaf interactions: one kernel over the whole level,
+        # per-point / per-pair slots compacted into the candidate pool.
         la = fa[both_leaf]
         lb_ = fb[both_leaf]
         if la.size:
-            plb = lower_bounds(la, lb_)
-            order = np.argsort(plb, kind="stable")
-            for a_i, b_i, lb_i in zip(
-                la[order].tolist(), lb_[order].tolist(), plb[order].tolist()
-            ):
-                _leaf_pair_update(
-                    indices, labels_perm, core2_perm, pts_perm, start, end,
-                    mpts, best_d2, cand, a_i, b_i, lb_i,
+            sizes = (n_pts[la] + n_pts[lb_]).astype(np.int64)
+            offsets = np.cumsum(sizes) - sizes
+            total = int(sizes.sum())
+            out_comp = bk.take("emst.cand_comp", total, np.int64)
+            out_d2 = bk.take("emst.cand_d2", total, np.float64)
+            out_p = bk.take("emst.cand_p", total, np.int64)
+            out_q = bk.take("emst.cand_q", total, np.int64)
+            spatial_leaf_pairs(
+                tree, la, lb_, flb[both_leaf], labels_perm, core2_perm,
+                mutual, best_d2, offsets, out_comp, out_d2, out_p, out_q,
+            )
+            hit = np.isfinite(out_d2[:total])
+            if hit.any():
+                cand.add(out_comp[:total][hit], out_d2[:total][hit],
+                         out_p[:total][hit], out_q[:total][hit])
+                scatter_min_at(
+                    best_d2, out_comp[:total][hit], out_d2[:total][hit],
+                    name=None,
                 )
 
         # Expand the remaining pairs: split the side with more points.
@@ -447,8 +410,8 @@ def _traverse(
         )
         ea, eb = ra[expand_a], rb[expand_a]
         sa, sb = ra[~expand_a], rb[~expand_a]
-        fa_next = np.concatenate([left[ea], right[ea], sa, sa])
-        fb_next = np.concatenate([eb, eb, left[sb], right[sb]])
+        fa_next = np.concatenate([left[ea], right[ea], sa, sa]).astype(np.int64)
+        fb_next = np.concatenate([eb, eb, left[sb], right[sb]]).astype(np.int64)
         # Canonical order + dedup (symmetric interaction).
         lo = np.minimum(fa_next, fb_next)
         hi = np.maximum(fa_next, fb_next)
@@ -460,64 +423,39 @@ def _traverse(
     return visits
 
 
-def _leaf_pair_update(
-    indices: np.ndarray,
-    labels_perm: np.ndarray,
-    core2_perm: np.ndarray,
-    pts_perm: np.ndarray,
-    start: np.ndarray,
-    end: np.ndarray,
-    mpts: int,
-    best_d2: np.ndarray,
-    cand: _Candidates,
-    a: int,
-    b: int,
-    pair_lb: float = 0.0,
-) -> None:
-    """Bilateral candidate update for a leaf-leaf interaction (views only).
+def _forest_guard(n: int, cu: np.ndarray, cv: np.ndarray) -> np.ndarray:
+    """Vectorized Kruskal-equivalent cycle guard over component edges.
 
-    ``pair_lb`` is the pair's precomputed lower bound: a *live* bound check
-    against the current per-component candidates skips the distance block
-    when no contained component can improve anymore (the start-of-round node
-    bounds the traversal uses go stale as candidates tighten within a round;
-    this check does not).  Only strict improvements enter the candidate
-    pool, keeping its size O(components) rather than O(block rows).
+    ``(cu, cv)`` are the candidate edges' component labels, already in the
+    round's strict total order (weight, lo, hi) -- so array position is a
+    distinct priority and the minimum spanning forest over components is
+    *unique*.  Priority-Boruvka therefore keeps exactly the edges a
+    sequential union-find walk in that order would: each iteration picks,
+    for every current component, its minimum-priority alive edge (an
+    ``atomicMin`` scatter), contracts, and repeats until no alive
+    cross-component edge remains.
     """
-    sa, ea = start[a], end[a]
-    sb, eb = start[b], end[b]
-    if ea == sa or eb == sb:
-        return
-    la = labels_perm[sa:ea]
-    lb = labels_perm[sb:eb]
-    row_bound = best_d2[la]
-    col_bound = best_d2[lb]
-    if max(row_bound.max(), col_bound.max()) <= pair_lb:
-        emit("emst.leaf_skip", "map", int(la.size + lb.size))
-        return
-    d2 = sq_dist_block(pts_perm[sa:ea], pts_perm[sb:eb])
-    if mpts > 1:
-        np.maximum(d2, core2_perm[sa:ea, None], out=d2)
-        np.maximum(d2, core2_perm[None, sb:eb], out=d2)
-    d2[la[:, None] == lb[None, :]] = np.inf
-
-    pa = indices[sa:ea]
-    pb = indices[sb:eb]
-    # A-side: per point of `a`, its best partner in `b`; only strict
-    # improvements over the component's current candidate are recorded.
-    cols = np.argmin(d2, axis=1)
-    rd2 = d2[np.arange(pa.size), cols]
-    ok = rd2 < row_bound
-    if ok.any():
-        cand.add(la[ok], rd2[ok], pa[ok], pb[cols[ok]])
-        np.minimum.at(best_d2, la[ok], rd2[ok])
-    # B-side.
-    rows = np.argmin(d2, axis=0)
-    cd2 = d2[rows, np.arange(pb.size)]
-    ok = cd2 < col_bound
-    if ok.any():
-        cand.add(lb[ok], cd2[ok], pb[ok], pa[rows[ok]])
-        np.minimum.at(best_d2, lb[ok], cd2[ok])
-    emit("emst.leaf_pair", "map", int(pa.size * pb.size))
+    m = int(cu.size)
+    keep = np.zeros(m, dtype=bool)
+    prio = np.arange(m, dtype=np.int64)
+    a = cu.copy()
+    b = cv.copy()
+    while True:
+        alive = a != b
+        if not alive.any():
+            break
+        best = np.full(n, m, dtype=np.int64)
+        np.minimum.at(best, a[alive], prio[alive])
+        np.minimum.at(best, b[alive], prio[alive])
+        pick = alive & ((best[a] == prio) | (best[b] == prio))
+        keep |= pick
+        emit("emst.guard", "scatter", int(np.count_nonzero(alive)))
+        merged = connected_components(
+            n, np.stack([a[pick], b[pick]], axis=1)
+        )
+        a = merged[a]
+        b = merged[b]
+    return keep
 
 
 def _resolve_candidates(

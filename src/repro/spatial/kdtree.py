@@ -3,28 +3,38 @@
 The paper's HDBSCAN* pipeline leans on spatial trees (ArborX BVH) for
 core-distance kNN and for the EMST's dual-tree Boruvka [39].  This module
 provides the equivalent: a median-split kd-tree stored in flat arrays
-(structure-of-arrays, preorder node ids) so that both construction and
-queries run as bulk NumPy passes rather than per-point Python.
+(structure-of-arrays) so that both construction and queries run as bulk
+backend kernels rather than per-point Python.
+
+Construction
+------------
+``build`` is iterative and level-synchronous: one preallocated flat-array
+arena (no Python recursion, no list appends), one bulk segmented partition
+kernel per tree level (:meth:`repro.parallel.backend.Backend.
+spatial_partition` -- every node of the level sorts its slice by the split
+coordinate in a single stable sort, so the resulting permutation is
+deterministic even under coordinate ties), and one ``reduceat`` box pass
+per level.  Index arrays follow :func:`repro.parallel.workspace.
+index_dtype` (the PR-1 dtype-adaptivity contract).
 
 Layout
 ------
 * ``indices``  -- permutation of point ids; every node owns the contiguous
   slice ``indices[start[i]:end[i]]``.
 * ``left/right`` -- child node ids (-1 for leaves); children are created
-  after their parent, so ``child id > parent id`` and a reversed id scan is
-  a valid bottom-up traversal (used for per-node component flags and
-  bounds in the EMST).
+  after their parent (level order), so ``child id > parent id`` and a
+  reversed id scan is a valid bottom-up traversal (used by the fused
+  per-node aggregation kernels in the EMST).
 * ``box_lo/box_hi`` -- tight bounding boxes per node.
 
 Queries
 -------
-``query_knn`` implements exact batched kNN in two passes: (1) route all
-queries to their home leaf simultaneously (one vectorized descend step per
-tree level) and brute-force there to initialize per-query bounds, then (2) a
-stack traversal that carries *query subsets* down the tree, pruning each
-query by its current k-th distance against the node box.  Leaf interactions
-are (queries x leaf-points) distance blocks -- GEMM-shaped work, no Python
-per point.
+``query_knn`` dispatches to the active backend's batched kNN kernel
+(:meth:`~repro.parallel.backend.Backend.spatial_knn`).  The answer is
+defined as the ``k`` smallest ``(squared distance, point id)`` pairs per
+query -- a unique set, so the numpy block formulation and the fused
+``nogil``/``prange`` traversals agree bit for bit.  Entry points poke the
+``knn`` fault seam (:mod:`repro.engine.faults`).
 """
 
 from __future__ import annotations
@@ -33,10 +43,22 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..parallel.machine import emit
-from .distances import sq_dist_block
+from ..parallel.machine import debug_checks, emit
+from ..parallel.primitives import spatial_knn, spatial_partition
+from ..parallel.workspace import index_dtype
+from ..structures.edgelist import InvalidGraphError
 
 __all__ = ["KDTree"]
+
+#: Fault-injection seam (site ``knn``): ``repro.engine.faults`` installs a
+#: hook here; the cost while uninstalled is one ``is not None`` check.
+_FAULT_HOOK = None
+
+
+def _poke() -> None:
+    hook = _FAULT_HOOK
+    if hook is not None:
+        hook("knn")
 
 
 @dataclass
@@ -58,76 +80,114 @@ class KDTree:
     # ------------------------------------------------------------------ build
     @classmethod
     def build(cls, points: np.ndarray, leaf_size: int = 32) -> "KDTree":
-        """Construct by recursive median split on the widest box dimension."""
+        """Construct by level-synchronous median split on the widest box
+        dimension: every level partitions all its splittable nodes in one
+        bulk segmented-sort kernel over preallocated arrays."""
         points = np.ascontiguousarray(points, dtype=np.float64)
         if points.ndim != 2:
-            raise ValueError(f"points must be (n, d), got {points.shape}")
+            raise InvalidGraphError(
+                f"points must be (n, d), got {points.shape}"
+            )
         if leaf_size < 1:
-            raise ValueError("leaf_size must be >= 1")
+            raise InvalidGraphError("leaf_size must be >= 1")
+        if debug_checks() and points.size and not np.isfinite(points).all():
+            raise InvalidGraphError("points must be finite")
+        _poke()
         n, d = points.shape
-        indices = np.arange(n, dtype=np.int64)
 
-        split_dim: list[int] = []
-        split_val: list[float] = []
-        left: list[int] = []
-        right: list[int] = []
-        start: list[int] = []
-        end: list[int] = []
-        box_lo: list[np.ndarray] = []
-        box_hi: list[np.ndarray] = []
+        # Node capacity: every split child holds >= ceil((leaf_size+1)/2)
+        # points (median split fires only above leaf_size), so leaf count
+        # <= n / that floor and nodes <= 2*leaves - 1.
+        min_leaf = max(1, (leaf_size + 1) // 2)
+        cap = 2 * ((n + min_leaf - 1) // min_leaf) + 1
+        idt = index_dtype(max(n, cap) + 1)
 
-        def new_node(s: int, e: int) -> int:
-            i = len(start)
-            start.append(s)
-            end.append(e)
-            split_dim.append(-1)
-            split_val.append(0.0)
-            left.append(-1)
-            right.append(-1)
-            if e > s:
-                pts = points[indices[s:e]]
-                box_lo.append(pts.min(axis=0))
-                box_hi.append(pts.max(axis=0))
-            else:
-                box_lo.append(np.zeros(d))
-                box_hi.append(np.zeros(d))
-            return i
+        indices = np.arange(n, dtype=idt)
+        split_dim = np.full(cap, -1, dtype=idt)
+        split_val = np.zeros(cap, dtype=np.float64)
+        left = np.full(cap, -1, dtype=idt)
+        right = np.full(cap, -1, dtype=idt)
+        start = np.zeros(cap, dtype=idt)
+        end = np.zeros(cap, dtype=idt)
+        box_lo = np.zeros((cap, d), dtype=np.float64)
+        box_hi = np.zeros((cap, d), dtype=np.float64)
 
-        stack = [new_node(0, n)] if n else []
-        while stack:
-            node = stack.pop()
-            s, e = start[node], end[node]
-            if e - s <= leaf_size:
-                continue
-            lo, hi = box_lo[node], box_hi[node]
-            dim = int(np.argmax(hi - lo))
-            if hi[dim] == lo[dim]:
-                continue  # all points identical: keep as (possibly big) leaf
-            mid = (e - s) // 2
-            seg = indices[s:e]
-            part = np.argpartition(points[seg, dim], mid)
-            indices[s:e] = seg[part]
-            emit("kdtree.partition", "sort", e - s)
-            split_dim[node] = dim
-            split_val[node] = float(points[indices[s + mid], dim])
-            lchild = new_node(s, s + mid)
-            rchild = new_node(s + mid, e)
-            left[node] = lchild
-            right[node] = rchild
-            stack.append(lchild)
-            stack.append(rchild)
+        n_nodes = 0
+        if n:
+            n_nodes = 1
+            end[0] = n
+            box_lo[0] = points.min(axis=0)
+            box_hi[0] = points.max(axis=0)
+            emit("kdtree.boxes", "reduce", n)
+
+        level = np.arange(min(n_nodes, 1), dtype=np.int64)
+        while level.size:
+            sizes = (end[level] - start[level]).astype(np.int64)
+            ext = box_hi[level] - box_lo[level]
+            dims = np.argmax(ext, axis=1)
+            splittable = (sizes > leaf_size) & (
+                ext[np.arange(level.size), dims] > 0
+            )
+            nodes = level[splittable]
+            if nodes.size == 0:
+                break
+            dims = dims[splittable]
+            s = start[nodes].astype(np.int64)
+            e = end[nodes].astype(np.int64)
+            seg_sizes = e - s
+
+            # Concatenated level slices: global position of every element
+            # plus its segment (node) id, in node order.
+            seg_of = np.repeat(np.arange(nodes.size, dtype=np.int64),
+                               seg_sizes)
+            pos = (np.arange(int(seg_sizes.sum()), dtype=np.int64)
+                   - np.repeat(np.cumsum(seg_sizes) - seg_sizes, seg_sizes)
+                   + np.repeat(s, seg_sizes))
+            ids_lvl = indices[pos]
+            coords = points[ids_lvl, np.repeat(dims, seg_sizes)]
+            perm = spatial_partition(seg_of, coords, int(nodes.size))
+            indices[pos] = ids_lvl[perm]
+
+            mids = seg_sizes // 2
+            split_pos = s + mids
+            split_dim[nodes] = dims
+            split_val[nodes] = points[indices[split_pos], dims]
+
+            child_ids = n_nodes + np.arange(2 * nodes.size, dtype=np.int64)
+            lchild, rchild = child_ids[0::2], child_ids[1::2]
+            left[nodes] = lchild
+            right[nodes] = rchild
+            start[lchild] = s
+            end[lchild] = split_pos
+            start[rchild] = split_pos
+            end[rchild] = e
+
+            # Child boxes: one reduceat pair over the level's (partitioned)
+            # points.  Child slices are never empty (median split), so the
+            # reduceat segments are well-formed.
+            pts_lvl = points[indices[pos]]
+            local = np.empty(2 * nodes.size, dtype=np.int64)
+            bases = np.cumsum(seg_sizes) - seg_sizes
+            local[0::2] = bases
+            local[1::2] = bases + mids
+            box_lo[child_ids] = np.minimum.reduceat(pts_lvl, local, axis=0)
+            box_hi[child_ids] = np.maximum.reduceat(pts_lvl, local, axis=0)
+            emit("kdtree.boxes", "reduce", int(pts_lvl.shape[0]))
+
+            n_nodes += int(child_ids.size)
+            level = child_ids
 
         return cls(
             points=points,
             indices=indices,
-            split_dim=np.asarray(split_dim, dtype=np.int64),
-            split_val=np.asarray(split_val, dtype=np.float64),
-            left=np.asarray(left, dtype=np.int64),
-            right=np.asarray(right, dtype=np.int64),
-            start=np.asarray(start, dtype=np.int64),
-            end=np.asarray(end, dtype=np.int64),
-            box_lo=np.asarray(box_lo, dtype=np.float64),
-            box_hi=np.asarray(box_hi, dtype=np.float64),
+            split_dim=split_dim[:n_nodes].copy(),
+            split_val=split_val[:n_nodes].copy(),
+            left=left[:n_nodes].copy(),
+            right=right[:n_nodes].copy(),
+            start=start[:n_nodes].copy(),
+            end=end[:n_nodes].copy(),
+            box_lo=box_lo[:n_nodes].copy(),
+            box_hi=box_hi[:n_nodes].copy(),
             leaf_size=leaf_size,
         )
 
@@ -153,6 +213,27 @@ class KDTree:
             leaves = self.leaf_ids()
             cached = leaves[np.argsort(self.start[leaves], kind="stable")]
             object.__setattr__(self, "_leaves_by_start", cached)
+        return cached
+
+    def internal_levels(self) -> list[np.ndarray]:
+        """Internal node ids per level, root level first (cached).
+
+        The per-level grouping drives the reference node-aggregation
+        kernel: every level combines both children of all its internal
+        nodes in one vectorized pass.
+        """
+        cached = getattr(self, "_internal_levels", None)
+        if cached is None:
+            cached = []
+            cur = np.arange(min(self.n_nodes, 1), dtype=np.int64)
+            while cur.size:
+                internal = cur[self.left[cur] >= 0]
+                if internal.size:
+                    cached.append(internal)
+                cur = np.concatenate(
+                    [self.left[internal], self.right[internal]]
+                ).astype(np.int64) if internal.size else cur[:0]
+            object.__setattr__(self, "_internal_levels", cached)
         return cached
 
     @property
@@ -195,110 +276,18 @@ class KDTree:
     ) -> tuple[np.ndarray, np.ndarray]:
         """Exact k nearest neighbors of each query row.
 
-        Returns ``(dists, ids)`` of shape (m, k), rows sorted ascending.
-        ``k`` is clamped to the point count.  Distances are Euclidean.
+        Returns ``(dists, ids)`` of shape (m, k), rows sorted ascending by
+        ``(distance, id)``.  ``k`` is clamped to the point count.
+        Distances are Euclidean; ids carry the tree's index dtype.  One
+        logical ``kdtree.knn`` record of ``m * k``, whatever the backend.
         """
         queries = np.ascontiguousarray(queries, dtype=np.float64)
         if queries.ndim != 2 or queries.shape[1] != self.points.shape[1]:
-            raise ValueError("queries must be (m, d) with matching d")
+            raise InvalidGraphError("queries must be (m, d) with matching d")
         n = self.n_points
         if n == 0:
-            raise ValueError("cannot query an empty tree")
+            raise InvalidGraphError("cannot query an empty tree")
+        _poke()
         k = min(k, n)
-        m = queries.shape[0]
-
-        best_d2 = np.full((m, k), np.inf)
-        best_id = np.full((m, k), -1, dtype=np.int64)
-        bound = np.full(m, np.inf)  # current k-th squared distance
-
-        # --- pass 1: route every query to its home leaf, brute-force there
-        node = np.zeros(m, dtype=np.int64)
-        while True:
-            internal = self.left[node] >= 0
-            if not internal.any():
-                break
-            sel = np.nonzero(internal)[0]
-            nd = node[sel]
-            dim = self.split_dim[nd]
-            go_left = queries[sel, dim] < self.split_val[nd]
-            node[sel] = np.where(go_left, self.left[nd], self.right[nd])
-            emit("kdtree.route", "gather", int(sel.size))
-        order = np.argsort(node, kind="stable")
-        emit("kdtree.group_by_leaf", "sort", m)
-        boundaries = np.nonzero(np.diff(node[order]))[0] + 1
-        groups = np.split(order, boundaries)
-        for grp in groups:
-            if grp.size == 0:
-                continue
-            leaf = int(node[grp[0]])
-            self._leaf_update(queries, grp, leaf, k, best_d2, best_id, bound)
-
-        # --- pass 2: bounded traversal with query subsets
-        all_q = np.arange(m, dtype=np.int64)
-        stack: list[tuple[int, np.ndarray]] = [(0, all_q)]
-        while stack:
-            nid, qs = stack.pop()
-            d2box = self.min_sq_dist_point_box(queries[qs], np.full(qs.size, nid))
-            qs = qs[d2box < bound[qs]]
-            if qs.size == 0:
-                continue
-            if self.left[nid] == -1:
-                self._leaf_update(queries, qs, nid, k, best_d2, best_id, bound)
-                continue
-            # descend closer child first (stack: push farther first)
-            lc, rc = int(self.left[nid]), int(self.right[nid])
-            dim = int(self.split_dim[nid])
-            med = self.split_val[nid]
-            go_left_first = np.median(queries[qs, dim]) < med
-            if go_left_first:
-                stack.append((rc, qs))
-                stack.append((lc, qs))
-            else:
-                stack.append((lc, qs))
-                stack.append((rc, qs))
-
-        # sort rows ascending
-        row_order = np.argsort(best_d2, axis=1, kind="stable")
-        emit("kdtree.sort_results", "sort", m * k)
-        best_d2 = np.take_along_axis(best_d2, row_order, axis=1)
-        best_id = np.take_along_axis(best_id, row_order, axis=1)
-        return np.sqrt(best_d2), best_id
-
-    def _leaf_update(
-        self,
-        queries: np.ndarray,
-        qs: np.ndarray,
-        leaf: int,
-        k: int,
-        best_d2: np.ndarray,
-        best_id: np.ndarray,
-        bound: np.ndarray,
-    ) -> None:
-        """Brute-force a (query-subset x leaf) block into the k-best state.
-
-        Skips leaf points that are already present in a query's candidate
-        list by deduplicating on ids after the merge.
-        """
-        pts = self.leaf_points(leaf)
-        if pts.size == 0:
-            return
-        d2 = sq_dist_block(queries[qs], self.points[pts])
-        merged_d = np.concatenate([best_d2[qs], d2], axis=1)
-        merged_i = np.concatenate(
-            [best_id[qs], np.broadcast_to(pts, (qs.size, pts.size))], axis=1
-        )
-        # Drop duplicate ids (a pass-1 home leaf revisited in pass 2): keep
-        # the first occurrence by masking later ones to inf.
-        sort_cols = np.argsort(merged_i, axis=1, kind="stable")
-        si = np.take_along_axis(merged_i, sort_cols, axis=1)
-        dup = np.zeros_like(si, dtype=bool)
-        dup[:, 1:] = (si[:, 1:] == si[:, :-1]) & (si[:, 1:] >= 0)
-        mask = np.zeros(merged_d.shape, dtype=bool)
-        np.put_along_axis(mask, sort_cols, dup, axis=1)
-        merged_d[mask] = np.inf
-
-        sel = np.argpartition(merged_d, k - 1, axis=1)[:, :k]
-        best_d2[qs] = np.take_along_axis(merged_d, sel, axis=1)
-        best_id[qs] = np.take_along_axis(merged_i, sel, axis=1)
-        bound[qs] = best_d2[qs].max(axis=1)
-        emit("kdtree.leaf_update", "map", int(qs.size * pts.size))
+        d2, ids = spatial_knn(self, queries, k)
+        return np.sqrt(d2), ids

@@ -1,0 +1,196 @@
+"""NumPy reference realizations of the spatial kernel vocabulary.
+
+These are the bulk-vectorized bodies behind the ``spatial_*`` methods of
+:class:`repro.parallel.backend.NumpyBackend` -- extracted from the
+pre-backend kd-tree/Boruvka code so the JIT backends have a bit-exact
+reference to match.  Nothing here emits kernel records (the backend method
+accounts the one logical kernel) and nothing here imports the backend layer
+(this module sits above it; the backend loads it lazily).
+
+Determinism conventions shared with the fused realizations:
+
+* kNN answers are the ``k`` smallest ``(squared distance, point id)`` pairs
+  per query -- a unique set, so any exact traversal agrees bit for bit.
+* Node pruning visits on *equality* (``lower_bound <= bound``): an
+  equal-distance smaller-id candidate is never pruned away.
+* All nearest-foreign ties keep the first point in tree order (NumPy's
+  ``argmin`` first-occurrence rule == the fused kernels' strict ``<``).
+* Squared distances come from SciPy's ``cdist`` ``sqeuclidean`` kernel,
+  whose in-order difference accumulation the fused loops reproduce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial.distance import cdist
+
+__all__ = ["knn_blockwise", "node_reduce", "seed_scan", "leaf_pairs"]
+
+
+def knn_blockwise(tree, queries, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Exact batched kNN, two-pass block formulation.
+
+    Pass 1 routes every query to its home leaf simultaneously and
+    brute-forces there to initialize per-query bounds; pass 2 is a stack
+    traversal carrying query subsets, pruning each query by its k-th
+    squared distance against the node box (visiting on equality).  Leaf
+    interactions are (queries x leaf) distance blocks merged into the
+    running k-best rows in ``(d2, id)`` order.  Returns ``(d2, ids)`` with
+    ``ids`` int64 (the backend narrows to the tree's index dtype).
+    """
+    pts = tree.points
+    n = int(pts.shape[0])
+    m = int(queries.shape[0])
+    left, right = tree.left, tree.right
+    start, end = tree.start, tree.end
+    indices = tree.indices
+
+    best_d2 = np.full((m, k), np.inf)
+    best_id = np.full((m, k), n, dtype=np.int64)  # sentinel: sorts last
+    bound = np.full(m, np.inf)  # current k-th squared distance per query
+
+    def leaf_update(qs: np.ndarray, leaf: int) -> None:
+        ids = indices[start[leaf]: end[leaf]]
+        if ids.size == 0:
+            return
+        d2 = cdist(queries[qs], pts[ids], "sqeuclidean")
+        merged_d = np.concatenate([best_d2[qs], d2], axis=1)
+        merged_i = np.concatenate(
+            [best_id[qs],
+             np.broadcast_to(ids.astype(np.int64), (qs.size, ids.size))],
+            axis=1,
+        )
+        # Stable sort by id, mask duplicate ids (a pass-1 home leaf
+        # revisited in pass 2) to the (inf, sentinel) empty slot, then a
+        # stable sort by d2: rows land in (d2, id) lexicographic order.
+        oc = np.argsort(merged_i, axis=1, kind="stable")
+        si = np.take_along_axis(merged_i, oc, axis=1)
+        sd = np.take_along_axis(merged_d, oc, axis=1)
+        dup = np.zeros_like(si, dtype=bool)
+        dup[:, 1:] = si[:, 1:] == si[:, :-1]
+        sd[dup] = np.inf
+        si[dup] = n
+        od = np.argsort(sd, axis=1, kind="stable")
+        best_d2[qs] = np.take_along_axis(sd, od, axis=1)[:, :k]
+        best_id[qs] = np.take_along_axis(si, od, axis=1)[:, :k]
+        bound[qs] = best_d2[qs, -1]
+
+    # --- pass 1: vectorized descend to home leaves, grouped brute force
+    node = np.zeros(m, dtype=np.int64)
+    while True:
+        internal = left[node] >= 0
+        if not internal.any():
+            break
+        sel = np.nonzero(internal)[0]
+        nd = node[sel]
+        dim = tree.split_dim[nd]
+        go_left = queries[sel, dim] < tree.split_val[nd]
+        node[sel] = np.where(go_left, left[nd], right[nd])
+    order = np.argsort(node, kind="stable")
+    boundaries = np.nonzero(np.diff(node[order]))[0] + 1
+    for grp in np.split(order, boundaries):
+        if grp.size:
+            leaf_update(grp, int(node[grp[0]]))
+
+    # --- pass 2: bounded traversal with query subsets
+    box_lo, box_hi = tree.box_lo, tree.box_hi
+    stack: list[tuple[int, np.ndarray]] = [(0, np.arange(m, dtype=np.int64))]
+    while stack:
+        nid, qs = stack.pop()
+        q = queries[qs]
+        delta = np.maximum(box_lo[nid] - q, 0.0) + np.maximum(
+            q - box_hi[nid], 0.0
+        )
+        d2box = np.einsum("ij,ij->i", delta, delta)
+        # Visit on equality: under the (d2, id) contract an equal-distance
+        # smaller-id candidate must never be pruned.
+        qs = qs[d2box <= bound[qs]]
+        if qs.size == 0:
+            continue
+        if left[nid] == -1:
+            leaf_update(qs, nid)
+            continue
+        lc, rc = int(left[nid]), int(right[nid])
+        dim = int(tree.split_dim[nid])
+        if np.median(queries[qs, dim]) < tree.split_val[nid]:
+            stack.append((rc, qs))
+            stack.append((lc, qs))
+        else:
+            stack.append((lc, qs))
+            stack.append((rc, qs))
+
+    return best_d2, best_id
+
+
+def node_reduce(tree, values_perm: np.ndarray, kind: str) -> np.ndarray:
+    """Bottom-up per-node min/max: leaf ``reduceat`` + per-level combine."""
+    op = np.minimum if kind == "min" else np.maximum
+    out = np.empty(tree.n_nodes, dtype=values_perm.dtype)
+    leaves = tree.leaves_by_start()
+    out[leaves] = op.reduceat(values_perm, tree.start[leaves])
+    left, right = tree.left, tree.right
+    for ids in reversed(tree.internal_levels()):
+        out[ids] = op(out[left[ids]], out[right[ids]])
+    return out
+
+
+def seed_scan(labels, knn_i, knn_d2, core2, mutual: bool,
+              out_d2, out_q) -> None:
+    """Per-point best foreign kNN entry (Boruvka seeding), one bulk pass."""
+    n = labels.size
+    foreign = labels[knn_i] != labels[:, None]
+    d2 = np.where(foreign, knn_d2, np.inf)
+    if mutual:
+        np.maximum(d2, core2[:, None], out=d2)
+        np.maximum(d2, core2[knn_i], out=d2)
+        d2[~foreign] = np.inf
+    j = np.argmin(d2, axis=1)
+    rows = np.arange(n)
+    out_d2[:n] = d2[rows, j]
+    out_q[:n] = knn_i[rows, j]
+    out_q[:n][~np.isfinite(out_d2[:n])] = -1
+
+
+def leaf_pairs(tree, leaf_a, leaf_b, pair_lb, labels_perm, core2_perm,
+               mutual: bool, bound_d2, offsets,
+               out_comp, out_d2, out_p, out_q) -> None:
+    """Frontier-level leaf-leaf interactions; see the backend docstring.
+
+    Reference realization: one distance block per pair.  Slot layout,
+    bound predicate (``bound > pair_lb`` and strict improvement) and
+    first-occurrence tie rule match the fused kernels exactly.
+    """
+    pts_perm = tree.points_perm
+    indices = tree.indices
+    start, end = tree.start, tree.end
+
+    def side(base, s_mine, e_mine, s_opp, e_opp, d2, lb):
+        # ``d2`` rows = my points, cols = opposite leaf (pre-transposed by
+        # the caller for the B side).
+        nm = e_mine - s_mine
+        comp = labels_perm[s_mine:e_mine]
+        bnd = bound_d2[comp]
+        cols = np.argmin(d2, axis=1)
+        rd2 = d2[np.arange(nm), cols]
+        ok = (bnd > lb) & (rd2 < bnd)
+        sl = slice(base, base + nm)
+        out_d2[sl] = np.inf
+        out_d2[sl][ok] = rd2[ok]
+        out_comp[sl][ok] = comp[ok]
+        out_p[sl][ok] = indices[s_mine:e_mine][ok]
+        out_q[sl][ok] = indices[s_opp:e_opp][cols[ok]]
+
+    for t in range(int(leaf_a.size)):
+        a = int(leaf_a[t])
+        b = int(leaf_b[t])
+        lb = pair_lb[t]
+        sa, ea = int(start[a]), int(end[a])
+        sb, eb = int(start[b]), int(end[b])
+        d2 = cdist(pts_perm[sa:ea], pts_perm[sb:eb], "sqeuclidean")
+        if mutual:
+            np.maximum(d2, core2_perm[sa:ea, None], out=d2)
+            np.maximum(d2, core2_perm[None, sb:eb], out=d2)
+        d2[labels_perm[sa:ea, None] == labels_perm[None, sb:eb]] = np.inf
+        base = int(offsets[t])
+        side(base, sa, ea, sb, eb, d2, lb)
+        side(base + (ea - sa), sb, eb, sa, ea, d2.T, lb)

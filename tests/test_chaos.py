@@ -115,6 +115,47 @@ def test_chaos_mixed_outcomes_partition(rng):
             assert np.array_equal(b.parent, r.value.parent)
 
 
+def test_chaos_point_cloud_jobs_survive_knn_faults(rng):
+    """The ``knn`` seam covers point-cloud serving: transient spatial
+    faults retry to bit-identical HDBSCAN labels, and spatial validation
+    failures classify permanent (no retry storm)."""
+    jobs = [rng.random((100 + 30 * i, 2)) for i in range(4)]
+    baseline = Engine().hdbscan_many(jobs, mpts=4, max_workers=4)
+    plan = FaultPlan(
+        {
+            "knn": SiteFaults(p_transient=0.3),
+            "kernel": SiteFaults(p_transient=0.005),
+        },
+        seed=5,
+        budget=4,
+    )
+    policy = ServePolicy(max_retries=4, backoff_base_s=0.0005,
+                         breaker_threshold=100)
+    eng = Engine()
+    with plan.active():
+        results = eng.hdbscan_many(jobs, mpts=4, max_workers=4,
+                                   policy=policy)
+    assert [r.status for r in results] == ["ok"] * 4
+    for b, r in zip(baseline, results):
+        assert np.array_equal(b.labels, r.value.labels)
+        assert np.array_equal(b.dendrogram.parent, r.value.dendrogram.parent)
+    injected = plan.stats()
+    assert injected["raised"].get("knn", 0) > 0, "knn seam never fired"
+    health = eng.health()["total"]
+    assert health["ok"] == 4
+    assert health["retries"] == injected["raised_total"]
+
+    # Spatial validation failure: permanent, fails without burning retries.
+    bad = [np.full((50, 2), np.nan)]
+    from repro.parallel import debug_checks_set
+
+    with debug_checks_set(True):
+        got = eng.hdbscan_many(bad, mpts=2, max_workers=1, policy=policy)
+    assert got[0].status == "failed"
+    assert got[0].error_kind == "permanent"
+    assert got[0].retries == 0
+
+
 def test_chaos_repeated_batches_accumulate_health(rng):
     """Health and breaker state persist across batches on one engine."""
     probs = _problems(rng)[:4]

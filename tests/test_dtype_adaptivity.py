@@ -132,6 +132,36 @@ def test_boundary_sizes_match_oracle(rng):
         assert np.array_equal(got64.parent, ref)
 
 
+def test_spatial_pipeline_bit_identical_across_dtypes(rng):
+    """The spatial front-end follows the same rule: tree indices and
+    ``KNNArtifact.ids`` are int32 below the threshold, int64 when adaptive
+    dtypes are disabled, and every *value* (distances, neighbor identities,
+    EMST edges) is bit-identical either way."""
+    from repro.spatial import KDTree, emst, knn_graph
+
+    pts = rng.random((300, 2))
+    pts[:40] = pts[0]  # duplicate block keeps the adversarial shape
+
+    tree32 = KDTree.build(pts, leaf_size=16)
+    art32 = knn_graph(pts, 8, leaf_size=16)
+    mst32 = emst(pts, mpts=4, knn=art32)
+    with hotpath(adaptive_dtypes=False):
+        tree64 = KDTree.build(pts, leaf_size=16)
+        art64 = knn_graph(pts, 8, leaf_size=16)
+        mst64 = emst(pts, mpts=4, knn=art64)
+
+    assert tree32.indices.dtype == np.int32
+    assert tree64.indices.dtype == np.int64
+    assert art32.ids.dtype == np.int32
+    assert art64.ids.dtype == np.int64
+    assert np.array_equal(tree32.indices, tree64.indices)
+    assert np.array_equal(art32.dists, art64.dists)
+    assert np.array_equal(art32.ids, art64.ids)  # values, not storage width
+    for field in ("u", "v", "w", "core"):
+        assert np.array_equal(getattr(mst32, field), getattr(mst64, field))
+    assert mst32.u.dtype == mst64.u.dtype == np.int64  # public boundary
+
+
 def test_mst_pipeline_bit_identical_across_dtypes(rng):
     """End-to-end on a real (Kruskal) MST rather than a synthetic tree."""
     from repro.mst.kruskal import mst_kruskal

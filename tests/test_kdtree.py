@@ -163,3 +163,77 @@ class TestBoxDistances:
                     np.linalg.norm(pa[:, None] - pb[None], axis=2) ** 2
                 )
                 assert tree.min_sq_dist_box_box(int(a), int(b)) <= true_min + 1e-12
+
+
+class TestAdversarialKNN:
+    """Exact (distance, id) parity vs brute force on adversarial inputs.
+
+    Integer-valued coordinates keep every squared distance exact in
+    float64, so neighbor *ids* -- not just distances -- must match the
+    brute-force k-smallest-(d2, id) reference bit for bit.
+    """
+
+    @staticmethod
+    def _reference(pts: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        from scipy.spatial.distance import cdist
+
+        n = pts.shape[0]
+        D = cdist(pts, pts, "sqeuclidean")
+        ids = np.empty((n, k), dtype=np.int64)
+        d2 = np.empty((n, k))
+        for i in range(n):
+            order = np.lexsort((np.arange(n), D[i]))[:k]
+            ids[i] = order
+            d2[i] = D[i, order]
+        return d2, ids
+
+    def _check(self, pts: np.ndarray, k: int, leaf_size: int) -> None:
+        pts = np.ascontiguousarray(pts, dtype=np.float64)
+        k = min(k, pts.shape[0])
+        tree = KDTree.build(pts, leaf_size=leaf_size)
+        dists, ids = tree.query_knn(pts, k)
+        ref_d2, ref_ids = self._reference(pts, k)
+        assert np.array_equal(ids.astype(np.int64), ref_ids)
+        assert np.array_equal(dists, np.sqrt(ref_d2))
+
+    @pytest.mark.parametrize("leaf_size", [1, 4, 32])
+    def test_heavy_duplicates(self, rng, leaf_size):
+        distinct = rng.integers(0, 4, size=(6, 2)).astype(float)
+        pts = distinct[rng.integers(0, 6, size=90)]
+        self._check(pts, 7, leaf_size)
+
+    @pytest.mark.parametrize("leaf_size", [2, 16])
+    def test_all_points_identical(self, leaf_size):
+        pts = np.full((40, 3), 2.0)
+        self._check(pts, 5, leaf_size)
+
+    @pytest.mark.parametrize("leaf_size", [3, 24])
+    def test_collinear(self, rng, leaf_size):
+        n = 80
+        pts = np.zeros((n, 2))
+        pts[:, 0] = rng.permutation(np.repeat(np.arange(n // 2), 2))
+        self._check(pts, 6, leaf_size)
+
+    @pytest.mark.parametrize("leaf_size", [1, 8])
+    def test_one_dimensional(self, rng, leaf_size):
+        pts = rng.integers(0, 25, size=(70, 1)).astype(float)
+        self._check(pts, 9, leaf_size)
+
+    def test_n_at_most_leaf_size(self, rng):
+        # Root is the only node: pure brute force, zero traversal.
+        pts = rng.integers(0, 10, size=(12, 2)).astype(float)
+        tree = KDTree.build(pts, leaf_size=32)
+        assert tree.n_nodes == 1
+        self._check(pts, 12, 32)
+
+    def test_ties_at_k_boundary(self):
+        # A ring of equidistant points: the k-th slot is a pure id tie.
+        angles = 2 * np.pi * np.arange(8) / 8
+        ring = np.stack([np.cos(angles), np.sin(angles)], axis=1)
+        pts = np.round(np.concatenate([np.zeros((1, 2)), 3 * ring]) * 64) / 64
+        self._check(pts, 4, 2)
+
+    def test_negative_zero_coordinates(self):
+        pts = np.array([[-0.0, 0.0], [0.0, -0.0], [1.0, 0.0],
+                        [-1.0, -0.0], [0.0, 1.0], [-0.0, -1.0]])
+        self._check(pts, 3, 2)
