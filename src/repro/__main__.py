@@ -17,7 +17,12 @@ Commands
                :class:`~repro.engine.resilience.ServePolicy`, optionally
                injecting deterministic transient faults and malformed jobs,
                and print the per-job result envelopes, ``Engine.health()``
-               counters, and circuit-breaker state.
+               counters, circuit-breaker state, and process-pool health.
+               ``--executor process`` serves the batch from the supervised
+               shard pool (``--shards`` workers); ``--kill-rate`` /
+               ``--poison-job`` inject deterministic worker crashes there
+               (``--fault-rate`` injects *in-process* seam faults and so
+               pairs with the thread executor).
 ``datasets``   list the Table-2 dataset registry.
 ``devices``    show the calibrated device models, price a synthetic trace,
                and list the registered execution backends with their
@@ -160,7 +165,7 @@ def cmd_dendrogram(args: argparse.Namespace) -> int:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     from .engine import Engine
-    from .engine.faults import FaultPlan, SiteFaults
+    from .engine.faults import FaultPlan, SiteFaults, WorkerFaults
     from .engine.resilience import ServePolicy
     from .perf import render_table
     from .structures import random_spanning_tree
@@ -182,7 +187,27 @@ def cmd_serve(args: argparse.Namespace) -> int:
         batch_deadline_s=args.batch_deadline,
         fallback=not args.no_fallback,
     )
-    engine = Engine()
+    pool_options: dict = {}
+    if args.executor == "process" and (args.kill_rate > 0
+                                       or args.poison_job is not None):
+        pool_options.update(
+            worker_faults=WorkerFaults(
+                p_crash=args.kill_rate,
+                poison_job_ids=(
+                    () if args.poison_job is None else (args.poison_job,)
+                ),
+                seed=args.fault_seed,
+            ),
+            # Chaos-demo supervision: fast heartbeats, ample respawns.
+            heartbeat_s=0.05,
+            respawn_budget=max(16, 4 * args.jobs),
+            poison_threshold=3,
+            max_dispatch=8,
+        )
+    engine = Engine(
+        executor=args.executor, shards=args.shards,
+        pool_options=pool_options,
+    )
     if args.fault_rate > 0:
         spec = SiteFaults(p_transient=args.fault_rate)
         plan = FaultPlan(
@@ -233,6 +258,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
         state = "OPEN" if st["open"] else "closed"
         print(f"breaker {key}: {state} "
               f"({st['consecutive_failures']} consecutive failures)")
+    print(f"pool: queue_depth={health['queue_depth']} "
+          f"workers_alive={health['workers_alive']} "
+          f"respawns={health['respawns']} shed={health['shed']} "
+          f"degraded={health['degraded']}")
+    if health["pool"] is not None:
+        pool = health["pool"]
+        print(f"shards: {pool['shards']} x {pool['backend'] or 'default'} "
+              f"({pool['start_method']}), crashes={pool['crashes']} "
+              f"hangs={pool['hangs']} quarantined={pool['quarantined']} "
+              f"injected_kills={pool['injected_kills']}")
+    engine.shutdown()
 
     n_ok = sum(r.ok for r in results)
     print(f"{n_ok}/{len(results)} jobs ok")
@@ -387,6 +423,21 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--workers", type=int, default=None,
                    help="pool width (default: the backend's heuristic)")
+    p.add_argument("--executor", default="thread",
+                   choices=["thread", "process"],
+                   help="serving executor: in-process thread pool or the "
+                        "supervised process-shard pool (crash isolation, "
+                        "respawn, poison quarantine, load shedding)")
+    p.add_argument("--shards", type=int, default=None,
+                   help="worker-process count for --executor process")
+    p.add_argument("--kill-rate", type=float, default=0.0, metavar="P",
+                   help="with --executor process: inject worker crashes "
+                        "with probability P per job reception "
+                        "(deterministic per (seed, worker, draw))")
+    p.add_argument("--poison-job", type=int, default=None, metavar="I",
+                   help="with --executor process: job index I kills every "
+                        "worker that receives it until quarantined as "
+                        "poisoned")
     p.add_argument("--retries", type=int, default=3,
                    help="transient-failure retry budget per job per backend")
     p.add_argument("--job-deadline", type=float, default=None, metavar="S",

@@ -18,6 +18,12 @@ Five pieces (see the sibling modules for the full contracts):
   layer: classified errors, bounded retries with backoff, deadlines,
   circuit breakers, and graceful backend degradation, returning per-job
   :class:`JobResult` envelopes.
+* :mod:`repro.engine.procpool` / :mod:`repro.engine.worker` -- the
+  process fault domain: a supervised :class:`ShardPool` of worker
+  processes behind ``Engine(executor="process")``, with heartbeats,
+  crash/hang detection and respawn, bounded job re-dispatch, poison-job
+  quarantine (:class:`PoisonedJobError`), and admission-control load
+  shedding (:class:`RejectedError`).
 
 Execution state (backend selection, cost-model stack, hot-path flags,
 debug checks) is context-local and workspace pools are per-thread, so any
@@ -41,13 +47,18 @@ __all__ = [
     "DendrogramHandle",
     "FaultPlan",
     "SiteFaults",
+    "WorkerFaults",
     "ServePolicy",
     "JobResult",
+    "ShardPool",
+    "RejectedError",
+    "PoisonedJobError",
 ]
 
 _LAZY = ("Engine", "DendrogramHandle")
-_LAZY_FAULTS = ("FaultPlan", "SiteFaults")
+_LAZY_FAULTS = ("FaultPlan", "SiteFaults", "WorkerFaults")
 _LAZY_RESILIENCE = ("ServePolicy", "JobResult")
+_LAZY_PROCPOOL = ("ShardPool", "RejectedError", "PoisonedJobError")
 
 
 def __getattr__(name: str):
@@ -68,4 +79,8 @@ def __getattr__(name: str):
         from . import resilience as _resilience
 
         return getattr(_resilience, name)
+    if name in _LAZY_PROCPOOL:
+        from . import procpool as _procpool
+
+        return getattr(_procpool, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -39,6 +39,7 @@ from __future__ import annotations
 import contextvars
 import functools
 import os
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeout
@@ -59,6 +60,7 @@ from ..structures.dendrogram import Dendrogram
 from ..structures.edgelist import as_edge_arrays
 from .cache import ArtifactCache, content_key
 from .plan import Plan
+from .procpool import PoisonedJobError, RejectedError, ShardPool
 from .resilience import (
     BreakerBoard,
     HealthCounters,
@@ -148,19 +150,47 @@ class Engine:
         pinned to; ``None`` uses whatever is active in the calling context.
     cache_entries:
         Capacity of the content-keyed artifact cache (LRU).
+    executor:
+        Default serving executor for :meth:`map` / :meth:`fit_many` /
+        :meth:`hdbscan_many`: ``"thread"`` (in-process pool, the
+        historical behaviour) or ``"process"`` (the supervised
+        :class:`~repro.engine.procpool.ShardPool` -- crash isolation,
+        heartbeats, re-dispatch, poison quarantine, load shedding).
+    shards:
+        Worker-process count for the process executor (``None`` = pool
+        default).
+    pool_options:
+        Extra :class:`~repro.engine.procpool.ShardPool` keyword
+        arguments (heartbeat cadence, respawn budget, injected
+        ``worker_faults``, ...).
     """
 
     def __init__(
         self,
         backend: str | Backend | None = None,
         cache_entries: int = 64,
+        executor: str = "thread",
+        shards: int | None = None,
+        pool_options: dict[str, Any] | None = None,
     ) -> None:
+        if executor not in ("thread", "process"):
+            raise ValueError(
+                f"executor must be 'thread' or 'process', got {executor!r}"
+            )
         self._backend = backend
         self.cache = ArtifactCache(max_entries=cache_entries)
         # Resilience state (persists across batches): circuit breakers per
         # (backend, site) and the per-backend health counters.
         self.breakers = BreakerBoard()
         self._health = HealthCounters()
+        # Process fault domain (lazy: no worker is spawned until the
+        # first process-executor batch).
+        self._executor = executor
+        self._shards = shards
+        self._pool_options = dict(pool_options or {})
+        self._pool: ShardPool | None = None
+        self._pool_lock = threading.Lock()
+        self._pool_degraded = 0
 
     # -- context -----------------------------------------------------------
     @contextmanager
@@ -369,14 +399,16 @@ class Engine:
         items: Iterable[Any],
         max_workers: int | None = None,
         policy: ServePolicy | None = None,
+        executor: str | None = None,
     ) -> list[Any]:
-        """Run ``fn(item)`` for every item on a thread pool.
+        """Run ``fn(item)`` for every item on the serving executor.
 
-        Each job executes in a snapshot of the submitting context (backend
-        selection, hot-path flags and debug-checks propagate; workspace
-        pools remain per-thread by construction), with inherited cost-model
-        tracking suspended -- see the module docstring.  Results are
-        returned in submission order.  ``max_workers=None`` applies
+        On the thread executor (the default) each job executes in a
+        snapshot of the submitting context (backend selection, hot-path
+        flags and debug-checks propagate; workspace pools remain
+        per-thread by construction), with inherited cost-model tracking
+        suspended -- see the module docstring.  Results are returned in
+        submission order.  ``max_workers=None`` applies
         :meth:`default_workers` to the engine's (or context's) active
         backend.
 
@@ -389,10 +421,64 @@ class Engine:
         survives bad jobs: transient failures retry with backoff, tripped
         backends degrade down the fallback chain, deadlines cancel or time
         out jobs, and every outcome lands in :meth:`health`.
+
+        ``executor="process"`` (or constructing the engine with it) runs
+        the batch on the supervised :class:`~repro.engine.procpool.
+        ShardPool` instead: jobs are crash-isolated in worker processes,
+        dead and hung workers are respawned and their jobs re-dispatched,
+        a job that keeps killing workers is quarantined
+        (:class:`~repro.engine.procpool.PoisonedJobError`), and admission
+        control sheds load (:class:`~repro.engine.procpool.
+        RejectedError`).  ``fn`` must then be picklable (module-level);
+        :meth:`fit_many` / :meth:`hdbscan_many` ship picklable job
+        descriptors instead and have no such restriction.  If the pool is
+        (or goes) unhealthy, affected jobs transparently degrade to the
+        thread path -- legal because backends and processes are
+        bit-identical on every input.
         """
         items = list(items)
+        jobs = [("call", (fn, item)) for item in items]
+        return self._serve(fn, items, jobs, max_workers, policy, executor)
+
+    def _serve(
+        self,
+        local_fn: Callable[..., Any],
+        items: list[Any],
+        jobs: list[tuple[str, Any]],
+        max_workers: int | None,
+        policy: ServePolicy | None,
+        executor: str | None,
+    ) -> list[Any]:
+        """Route one serving batch to the configured executor.
+
+        ``jobs`` holds picklable ``(kind, payload)`` descriptors for the
+        process path; ``local_fn(item)`` is the equivalent in-process
+        body, used by the thread path and by per-job degradation.
+        """
+        if executor is None:
+            executor = self._executor
+        if executor not in ("thread", "process"):
+            raise ValueError(
+                f"executor must be 'thread' or 'process', got {executor!r}"
+            )
         if not items:
             return []
+        if executor == "process":
+            pool = self._ensure_pool()
+            if pool is not None and pool.healthy:
+                return self._map_process(pool, jobs, items, local_fn, policy)
+            # Pool unavailable or unhealthy: the whole batch degrades to
+            # the in-process thread path (bit-identical by contract).
+            self._pool_degraded += len(items)
+        return self._map_thread(local_fn, items, max_workers, policy)
+
+    def _map_thread(
+        self,
+        fn: Callable[..., Any],
+        items: list[Any],
+        max_workers: int | None,
+        policy: ServePolicy | None,
+    ) -> list[Any]:
         with self._scope() as backend:
             if max_workers is None:
                 max_workers = self.default_workers(backend)
@@ -463,19 +549,170 @@ class Engine:
         with untracked():
             return fn(item)
 
+    # -- process executor --------------------------------------------------
+    def _ensure_pool(self) -> ShardPool | None:
+        """The lazily created shard pool (``None`` if spawning failed)."""
+        with self._pool_lock:
+            if self._pool is None:
+                with self._scope() as backend:
+                    backend_name = backend.name
+                options = dict(self._pool_options)
+                options.setdefault("backend", backend_name)
+                try:
+                    self._pool = ShardPool(self._shards, **options)
+                except Exception:
+                    return None
+            return self._pool
+
+    def _degrade_job(
+        self,
+        local_fn: Callable[..., Any],
+        item: Any,
+        index: int,
+        policy: ServePolicy | None,
+        backend_name: str,
+        batch_deadline: float | None,
+    ) -> Any:
+        """Run one lost job on the thread path (pool died under it)."""
+        self._pool_degraded += 1
+        if policy is None:
+            return contextvars.copy_context().run(
+                self._shielded, local_fn, item
+            )
+        return contextvars.copy_context().run(
+            run_job,
+            functools.partial(self._shielded, local_fn, item),
+            index, policy, self.breakers, self._health,
+            backend_name, batch_deadline,
+        )
+
+    def _map_process(
+        self,
+        pool: ShardPool,
+        jobs: list[tuple[str, Any]],
+        items: list[Any],
+        local_fn: Callable[..., Any],
+        policy: ServePolicy | None,
+    ) -> list[Any]:
+        """Serve one batch on the shard pool (see :meth:`map`).
+
+        Submission-order semantics match the thread path: without a
+        policy the first failure raises after cancelling every
+        not-yet-dispatched ticket; with a policy every item yields a
+        :class:`~repro.engine.resilience.JobResult` and lands in
+        :meth:`health` exactly once.
+        """
+        with self._scope() as backend:
+            backend_name = backend.name
+        batch_deadline = None
+        if policy is not None and policy.batch_deadline_s is not None:
+            batch_deadline = time.perf_counter() + policy.batch_deadline_s
+        retry_budget = 0 if policy is None else policy.max_retries
+
+        tickets: list[Any] = []
+        for kind, payload in jobs:
+            deadline_s = None if policy is None else policy.job_deadline_s
+            if batch_deadline is not None:
+                remaining = max(0.001, batch_deadline - time.perf_counter())
+                deadline_s = (
+                    remaining if deadline_s is None
+                    else min(deadline_s, remaining)
+                )
+            try:
+                tickets.append(pool.submit(
+                    kind, payload,
+                    deadline_s=deadline_s, retry_budget=retry_budget,
+                ))
+            except (RejectedError, PoisonedJobError) as exc:
+                tickets.append(exc)
+
+        results: list[Any] = []
+        raised: BaseException | None = None
+        for i, ticket in enumerate(tickets):
+            if isinstance(ticket, BaseException):
+                # Shed or quarantined at the front door.
+                if policy is None:
+                    raised = raised or ticket
+                    results.append(None)
+                else:
+                    self._health.record(backend_name, "failed")
+                    results.append(JobResult(
+                        index=i, status="failed", error=ticket,
+                        error_kind="permanent", backend=backend_name,
+                    ))
+                continue
+            if raised is not None:
+                # Raise-first semantics: stop consuming, cancel the rest.
+                pool.cancel(ticket)
+                continue
+            job = pool.result(ticket)
+            if job.status == "lost":
+                results.append(self._degrade_job(
+                    local_fn, items[i], i, policy, backend_name,
+                    batch_deadline,
+                ))
+                continue
+            if policy is None:
+                if job.status == "ok":
+                    results.append(job.value)
+                else:
+                    error = job.error or TimeoutError(
+                        f"job {i} was {job.status}"
+                    )
+                    raised = error
+                    results.append(None)
+                continue
+            self._health.record(backend_name, job.status)
+            if job.retries:
+                self._health.record(backend_name, "retries", job.retries)
+            results.append(JobResult(
+                index=i, status=job.status, value=job.value,
+                error=job.error, error_kind=job.error_kind,
+                attempts=job.attempts, retries=job.retries,
+                latency_s=job.latency_s,
+                backend=None if job.status == "cancelled" else backend_name,
+            ))
+        if raised is not None:
+            raise raised
+        return results
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Gracefully drain the process pool (if one was ever created):
+        finish in-flight jobs, reject new submissions, join every worker.
+        ``True`` iff everything completed in time (trivially so without a
+        pool)."""
+        with self._pool_lock:
+            pool = self._pool
+        if pool is None:
+            return True
+        return pool.drain(timeout)
+
+    def shutdown(self) -> None:
+        """Tear down the process pool (if any); thread-path serving keeps
+        working, and the next process batch starts a fresh pool."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown()
+
     def fit_many(
         self,
         problems: Iterable[Sequence[Any]],
         max_workers: int | None = None,
         policy: ServePolicy | None = None,
+        executor: str | None = None,
     ) -> list[DendrogramHandle]:
         """Fit many MSTs concurrently: ``problems`` holds ``(u, v, w)`` or
         ``(u, v, w, n_vertices)`` tuples; returns handles in order (or
         :class:`~repro.engine.resilience.JobResult` envelopes under a
-        ``policy`` -- see :meth:`map`)."""
-        return self.map(
-            lambda p: self.fit(*_fit_problem(p)), problems, max_workers,
-            policy=policy,
+        ``policy`` -- see :meth:`map`).  On the process executor each
+        problem ships to a shard as a plain ``fit`` descriptor (no
+        closures cross the process boundary)."""
+        problems = list(problems)
+        jobs = [("fit", _fit_problem(p)) for p in problems]
+        return self._serve(
+            lambda p: self.fit(*_fit_problem(p)), problems, jobs,
+            max_workers, policy, executor,
         )
 
     def hdbscan_many(
@@ -484,6 +721,7 @@ class Engine:
         mpts: int = 2,
         max_workers: int | None = None,
         policy: ServePolicy | None = None,
+        executor: str | None = None,
         **kwargs: Any,
     ) -> list[HDBSCANResult]:
         """Serve HDBSCAN* over many point clouds concurrently.
@@ -497,9 +735,21 @@ class Engine:
         :class:`~repro.engine.resilience.JobResult` envelope (see
         :meth:`map`).  ``kwargs`` are forwarded to :meth:`hdbscan`.
         """
-        return self.map(
+        point_sets = list(point_sets)
+        jobs = [
+            (
+                "hdbscan",
+                (
+                    np.ascontiguousarray(pts, dtype=np.float64),
+                    int(mpts),
+                    tuple(sorted(kwargs.items())),
+                ),
+            )
+            for pts in point_sets
+        ]
+        return self._serve(
             lambda pts: self.hdbscan(pts, mpts=mpts, **kwargs),
-            point_sets, max_workers, policy=policy,
+            point_sets, jobs, max_workers, policy, executor,
         )
 
     # -- introspection -----------------------------------------------------
@@ -507,14 +757,29 @@ class Engine:
         return self.cache.stats()
 
     def health(self) -> dict[str, Any]:
-        """Serving-path health: per-backend outcome counters plus breaker
-        state, one introspection shape with :meth:`cache_stats`::
+        """Serving-path health: per-backend outcome counters, breaker
+        state, and the process fault domain, one introspection shape with
+        :meth:`cache_stats`::
 
-            {"total": {...}, "backends": {name: {...}}, "breakers": {...}}
+            {"total": {...}, "backends": {name: {...}}, "breakers": {...},
+             "queue_depth": 0, "workers_alive": 0, "respawns": 0,
+             "shed": 0, "degraded": 0, "pool": {...} | None}
 
         Counter keys are ``ok / failed / timeout / cancelled / retries /
         fallbacks / breaker_trips``; breakers are keyed ``backend/site``.
+        The pool fields are zero (and ``pool`` is ``None``) until a
+        process-executor batch first runs; ``degraded`` counts jobs this
+        engine routed to the thread path because the pool was unhealthy.
         """
         snap = self._health.snapshot()
         snap["breakers"] = self.breakers.snapshot()
+        with self._pool_lock:
+            pool = self._pool
+        stats = pool.stats() if pool is not None else None
+        snap["queue_depth"] = stats["queue_depth"] if stats else 0
+        snap["workers_alive"] = stats["workers_alive"] if stats else 0
+        snap["respawns"] = stats["respawns"] if stats else 0
+        snap["shed"] = stats["shed"] if stats else 0
+        snap["degraded"] = self._pool_degraded
+        snap["pool"] = stats
         return snap

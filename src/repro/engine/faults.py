@@ -30,6 +30,14 @@ Sites
     validation failures raise :class:`repro.structures.edgelist.
     InvalidGraphError`, which the PR-6 taxonomy already classifies as
     permanent (no retry).
+``worker``
+    The *process* fault domain (:mod:`repro.engine.procpool`).  Unlike the
+    in-process sites above, the hook mechanism cannot reach into a child
+    process, so this seam is configured up front: a picklable
+    :class:`WorkerFaults` schedule is handed to the shard pool and shipped
+    to every worker at spawn, where the bootstrap draws deterministically
+    per ``(seed, worker, draw)`` -- crash (``os._exit``), hang (heartbeats
+    stop), or slow start -- letting chaos tests kill workers on schedule.
 
 Hook mechanism
 --------------
@@ -73,6 +81,7 @@ __all__ = [
     "DeadlineExceeded",
     "SiteFaults",
     "FaultPlan",
+    "WorkerFaults",
     "active_plan",
     "active_deadline",
     "deadline_scope",
@@ -150,6 +159,57 @@ def _uniform(seed: int, site: str, k: int) -> float:
         f"{seed}:{site}:{k}".encode(), digest_size=8
     ).digest()
     return int.from_bytes(digest, "big") / 2.0**64
+
+
+@dataclass(frozen=True)
+class WorkerFaults:
+    """Deterministic fault schedule for process-pool workers (the ``worker``
+    seam -- see the module docstring's site table).
+
+    The schedule is picklable and is evaluated *inside* each child process:
+    on every job reception the worker makes one deterministic uniform draw
+    from ``(seed, worker, draw)`` -- ``worker`` is the pool-assigned worker
+    id, unique per spawned process (a respawn gets a fresh id and therefore
+    a fresh schedule, never a deterministic re-crash loop) -- and acts on
+    it *before* executing the job:
+
+    * ``r < p_crash`` -- the worker dies immediately via ``os._exit`` with
+      the distinctive :data:`~repro.engine.worker.CRASH_EXITCODE`, taking
+      its in-flight job with it (the supervisor re-dispatches it).
+    * ``r < p_crash + p_hang`` -- the worker wedges: its heartbeat thread
+      stops and the main loop sleeps forever, so the supervisor must detect
+      the missed heartbeats and kill it.
+    * ``slow_start_s`` -- every (re)spawn of a worker sleeps this long
+      before signalling ready (slow JIT warmup / cold container shape).
+    * ``poison_job_ids`` -- pool job ids that crash *any* worker executing
+      them, regardless of the draw: the poisoned-job shape that the
+      supervisor must quarantine rather than re-dispatch forever.
+    """
+
+    p_crash: float = 0.0
+    p_hang: float = 0.0
+    slow_start_s: float = 0.0
+    poison_job_ids: tuple[int, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        total = self.p_crash + self.p_hang
+        if not 0.0 <= total <= 1.0:
+            raise ValueError(
+                f"worker fault probabilities must sum into [0, 1], got {total}"
+            )
+        if self.slow_start_s < 0:
+            raise ValueError("slow_start_s must be >= 0")
+
+    def decide(self, worker_id: int, draw: int) -> str | None:
+        """The scheduled action for this worker's ``draw``-th job reception:
+        ``"crash"``, ``"hang"``, or ``None`` (run the job normally)."""
+        r = _uniform(self.seed, f"worker:{worker_id}", draw)
+        if r < self.p_crash:
+            return "crash"
+        if r < self.p_crash + self.p_hang:
+            return "hang"
+        return None
 
 
 class FaultPlan:

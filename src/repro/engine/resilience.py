@@ -7,14 +7,20 @@ under when given a :class:`ServePolicy`:
 
 * **Classified errors** -- :func:`classify` buckets every failure as
   ``transient`` (a retry may absorb it: injected transient faults,
-  :class:`~repro.parallel.workspace.ResourceError`, any ``MemoryError``),
-  ``permanent`` (retrying can never help:
-  :class:`~repro.structures.edgelist.InvalidGraphError`, unknown
-  exceptions), or ``timeout`` (any ``TimeoutError``, including the
-  cooperative :class:`~repro.engine.faults.DeadlineExceeded`).
-  Classification is duck-typed on a boolean ``transient`` attribute, so a
-  future device backend can classify its own exceptions without importing
-  this module.
+  :class:`~repro.parallel.workspace.ResourceError`, any ``MemoryError``,
+  and the IPC seam errors ``BrokenPipeError`` / ``ConnectionResetError``
+  / ``EOFError`` -- a severed pipe means a dead peer process, and the
+  shard supervisor replaces dead peers), ``permanent`` (retrying can
+  never help: :class:`~repro.structures.edgelist.InvalidGraphError`,
+  load shedding (:class:`~repro.engine.procpool.RejectedError`),
+  quarantined jobs (:class:`~repro.engine.procpool.PoisonedJobError`),
+  unknown exceptions), or ``timeout`` (any ``TimeoutError``, including
+  the cooperative :class:`~repro.engine.faults.DeadlineExceeded`).
+  Classification is duck-typed on a boolean ``transient`` attribute, so
+  a future device backend -- or the process fault domain's
+  :class:`~repro.engine.procpool.WorkerCrashError` /
+  :class:`~repro.engine.procpool.RemoteJobError` -- can classify its own
+  exceptions without importing this module.
 
 * **Bounded retries with backoff** -- transient failures retry up to
   ``max_retries`` times per backend with exponential backoff plus jitter;
@@ -93,6 +99,12 @@ def classify(exc: BaseException) -> str:
     if transient is not None:
         return "transient" if transient else "permanent"
     if isinstance(exc, MemoryError):
+        return "transient"
+    if isinstance(exc, (BrokenPipeError, ConnectionResetError, EOFError)):
+        # IPC seams: a pipe or queue severed mid-operation means the peer
+        # process died, and the process supervisor replaces dead peers --
+        # a retry lands on a fresh shard, so these must not fall into the
+        # unknown->permanent default.
         return "transient"
     return "permanent"
 

@@ -172,3 +172,137 @@ def test_chaos_repeated_batches_accumulate_health(rng):
     health = eng.health()["total"]
     assert health["ok"] == 8
     assert health["retries"] == total_raised
+
+
+# ---------------------------------------------------------------------------
+# Process fault domain (run in CI as `-k process` under numba-parallel)
+# ---------------------------------------------------------------------------
+
+#: Chaos-gate kill schedule: p_crash >= 0.1 per job reception plus one
+#: poisoned job, deterministic per (seed, worker, draw).
+KILL_RATE = 0.15
+POISON_INDEX = 5
+WORKER_SEED = 42
+
+#: Fast supervision for the tests: crash detection within a few ticks.
+#: poison_threshold is high enough that a good job cannot plausibly be
+#: falsely poisoned by random crash draws (p_crash**5), while the poison
+#: job -- which kills on *every* reception -- always reaches it.
+_POOL = dict(heartbeat_s=0.05, hang_after_s=1.5, boot_timeout_s=120.0,
+             respawn_budget=64, poison_threshold=5, max_dispatch=8)
+
+
+def test_chaos_process_worker_kill_gate(rng):
+    """The ISSUE-8 acceptance gate: an 8-job x 4-shard ``fit_many`` under
+    a deterministic worker-kill schedule (kill rate >= 0.1 plus one
+    poisoned job) returns a JobResult for every job, ok-job parents
+    bit-identical to the fault-free run, the poisoned job as a
+    ``PoisonedJobError`` without sinking the pool, and ``Engine.health()``
+    exactly partitioning outcomes."""
+    from repro.engine.faults import WorkerFaults
+    from repro.engine.procpool import PoisonedJobError
+
+    probs = _problems(rng)
+    baseline = Engine().fit_many(probs, max_workers=N_WORKERS)
+    faults = WorkerFaults(p_crash=KILL_RATE,
+                          poison_job_ids=(POISON_INDEX,), seed=WORKER_SEED)
+    eng = Engine(
+        executor="process", shards=4,
+        pool_options=dict(worker_faults=faults, **_POOL),
+    )
+    try:
+        policy = ServePolicy(max_retries=3, breaker_threshold=100)
+        results = eng.fit_many(probs, policy=policy)
+
+        # A JobResult for every job, in submission order.
+        assert [r.index for r in results] == list(range(N_JOBS))
+
+        # The poisoned job is quarantined, not retried forever -- and the
+        # pool survived it.
+        poisoned = results[POISON_INDEX]
+        assert poisoned.status == "failed"
+        assert isinstance(poisoned.error, PoisonedJobError)
+        assert poisoned.error_kind == "permanent"
+
+        # Every other job survived the kill schedule, bit-identical.
+        for b, r in zip(baseline, results):
+            if r.index == POISON_INDEX:
+                continue
+            assert r.ok, (r.index, r.status, r.error)
+            assert np.array_equal(b.parent, r.value.parent), (
+                f"job {r.index} diverged under worker kills"
+            )
+
+        health = eng.health()
+        total = health["total"]
+        assert (total["ok"] + total["failed"] + total["timeout"]
+                + total["cancelled"]) == N_JOBS
+        assert total["ok"] == N_JOBS - 1 and total["failed"] == 1
+
+        pool = health["pool"]
+        # The poisoned job alone guarantees >= poison_threshold kills.
+        assert pool["injected_kills"] >= _POOL["poison_threshold"]
+        # Every injected kill hit a live worker and was respawned.
+        assert health["respawns"] == pool["injected_kills"]
+        assert pool["quarantined"] == 1
+        assert not pool["unhealthy"]
+        assert health["workers_alive"] == 4
+        assert health["shed"] == 0
+    finally:
+        eng.shutdown()
+    import multiprocessing as mp
+
+    assert mp.active_children() == []
+
+
+def test_chaos_process_parity_with_thread_path(rng):
+    """No faults: the process executor is bit-identical to the thread
+    path (the contract that makes unhealthy-pool degradation legal)."""
+    probs = _problems(rng)
+    baseline = Engine().fit_many(probs, max_workers=N_WORKERS)
+    eng = Engine(executor="process", shards=2,
+                 pool_options=dict(heartbeat_s=0.05))
+    try:
+        handles = eng.fit_many(probs)
+        for b, h in zip(baseline, handles):
+            assert h.parent.dtype == np.int64
+            assert np.array_equal(b.parent, h.parent)
+    finally:
+        eng.shutdown()
+
+
+def test_chaos_process_hang_schedule_recovers(rng):
+    """Injected hangs (stopped heartbeats) are detected and the batch
+    still completes: hung workers are killed, respawned, and their jobs
+    re-dispatched."""
+    from repro.engine.faults import WorkerFaults, _uniform
+
+    p_hang = 0.25
+    # A seed where at least one of the two initial workers hangs on its
+    # very first reception, so hang detection is guaranteed to exercise.
+    seed = next(
+        s for s in range(1000)
+        if any(_uniform(s, f"worker:{w}", 0) < p_hang for w in range(2))
+    )
+    probs = _problems(rng)[:4]
+    baseline = Engine().fit_many(probs, max_workers=4)
+    eng = Engine(
+        executor="process", shards=2,
+        pool_options=dict(
+            worker_faults=WorkerFaults(p_hang=p_hang, seed=seed),
+            heartbeat_s=0.02, hang_after_s=0.3, boot_timeout_s=120.0,
+            # poison_threshold > max_dispatch: a hang-prone schedule must
+            # never look like a poisoned job.
+            respawn_budget=64, poison_threshold=10, max_dispatch=8,
+        ),
+    )
+    try:
+        results = eng.fit_many(probs, policy=ServePolicy(max_retries=3))
+        assert all(r.ok for r in results), [
+            (r.status, r.error) for r in results
+        ]
+        for b, r in zip(baseline, results):
+            assert np.array_equal(b.parent, r.value.parent)
+        assert eng.health()["pool"]["hangs"] >= 1
+    finally:
+        eng.shutdown()

@@ -52,3 +52,25 @@ class TestCLI:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_serve_thread_executor(self, capsys):
+        assert main(["serve", "--jobs", "4", "--n", "500",
+                     "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "4/4 jobs ok" in out
+        assert "IDENTICAL" in out
+        assert "queue_depth=0" in out  # pool health line, poolless zeros
+
+    def test_serve_process_executor_with_kills_and_poison(self, capsys):
+        assert main(["serve", "--jobs", "5", "--n", "500",
+                     "--executor", "process", "--shards", "2",
+                     "--kill-rate", "0.15", "--poison-job", "3",
+                     "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "4/5 jobs ok" in out
+        assert "PoisonedJobError" in out
+        assert "quarantined=1" in out
+        assert "IDENTICAL" in out
+        import multiprocessing as mp
+
+        assert mp.active_children() == []

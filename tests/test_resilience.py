@@ -197,9 +197,22 @@ class TestClassify:
         (TimeoutError("late"), "timeout"),
         (RuntimeError("unknown"), "permanent"),
         (ValueError("unknown"), "permanent"),
+        # IPC seams: a severed pipe/queue means a dead peer process, and
+        # the shard supervisor replaces dead peers -- transient, not the
+        # unknown->permanent default.
+        (BrokenPipeError("pipe severed"), "transient"),
+        (ConnectionResetError("peer reset"), "transient"),
+        (EOFError("queue closed"), "transient"),
     ])
     def test_buckets(self, exc, kind):
         assert classify(exc) == kind
+
+    def test_ipc_transient_still_yields_to_explicit_attribute(self):
+        # Duck typing outranks the isinstance rules: an IPC-shaped error
+        # that *declares* itself permanent stays permanent.
+        exc = BrokenPipeError("handshake rejected")
+        exc.transient = False
+        assert classify(exc) == "permanent"
 
 
 class TestServePolicy:
@@ -571,8 +584,13 @@ class TestServing:
 
     def test_health_shape(self):
         snap = Engine().health()
-        assert set(snap) == {"total", "backends", "breakers"}
+        # PR 8 extended the snapshot with process-pool telemetry.
+        assert set(snap) == {
+            "total", "backends", "breakers", "queue_depth",
+            "workers_alive", "respawns", "shed", "degraded", "pool",
+        }
         assert snap["total"] == {
             "ok": 0, "failed": 0, "timeout": 0, "cancelled": 0,
             "retries": 0, "fallbacks": 0, "breaker_trips": 0,
         }
+        assert snap["pool"] is None and snap["workers_alive"] == 0
