@@ -33,7 +33,13 @@ size but asserted only at >= ``GATE_MIN_EDGES``, where per-job kernel
 time is large enough that the ratio measures the hooks rather than
 timer noise.
 
-A third column measures the PR-8 process fault domain: ``fit_many`` with
+A third bar guards the PR-10 observability layer: the same 4-worker
+policy batch with ``repro.obs`` enabled (metric mirrors at every seam,
+one span tree per request) against ``repro.obs.set_enabled(False)`` must
+cost at most ``OBS_OVERHEAD_GATE`` (3%).  Asserted at the same
+``GATE_MIN_EDGES`` floor.
+
+A fourth column measures the PR-8 process fault domain: ``fit_many`` with
 ``executor="process"`` (the supervised :class:`ShardPool`) at
 ``PROCESS_SHARDS`` shards, jobs/second against the 1-shard rate, plus a
 supervisor-overhead gate -- the supervised pool (heartbeats, scan ticks,
@@ -94,6 +100,11 @@ GATE_MIN_EDGES = 50_000
 #: no faults injected) over the plain raise-first path at 4 workers.
 POLICY_OVERHEAD_GATE = 1.03
 POLICY_WORKERS = 4
+#: Max allowed slowdown of the observability layer (metrics mirrors +
+#: request span trees, PR 10) on the policy path at 4 workers: the same
+#: batch with ``repro.obs`` enabled (the default) against
+#: ``set_enabled(False)``.  The ISSUE budget is 3%.
+OBS_OVERHEAD_GATE = 1.03
 #: Shard counts for the process-executor column (jobs/second each).
 PROCESS_SHARDS = (1, 2, 4)
 #: Max allowed slowdown of the supervised ShardPool over a bare
@@ -264,6 +275,21 @@ def run_serving_bench(
                                serial_ref, policy=ServePolicy())
         plain_runs = _measure(problems, POLICY_WORKERS, repeats, serial_ref)
 
+        # Observability-overhead column (PR 10): the identical policy
+        # batch with the obs layer switched off.  ``policy_runs`` above
+        # ran with obs on (the default), so the ratio isolates the
+        # metric mirrors + span-tree cost at dispatcher granularity.
+        from repro.obs import clear_spans, enabled, set_enabled
+
+        assert enabled(), "obs must be on for the overhead baseline"
+        set_enabled(False)
+        try:
+            obs_off_runs = _measure(problems, POLICY_WORKERS, repeats,
+                                    serial_ref, policy=ServePolicy())
+        finally:
+            set_enabled(True)
+            clear_spans()
+
         # Process-executor column: the supervised ShardPool at 1/2/4
         # shards plus the bare-ProcessPoolExecutor comparison at the
         # overhead shard count.
@@ -294,6 +320,8 @@ def run_serving_bench(
              and n_edges >= GATE_MIN_EDGES)
     overhead = (policy_runs["seconds"]["best"]
                 / max(plain_runs["seconds"]["best"], 1e-12))
+    obs_overhead = (policy_runs["seconds"]["best"]
+                    / max(obs_off_runs["seconds"]["best"], 1e-12))
     proc_base = by_shards[PROCESS_SHARDS[0]]["jobs_per_second"]
     supervisor_overhead = (
         by_shards[PROCESS_OVERHEAD_SHARDS]["seconds"]["best"]
@@ -321,6 +349,16 @@ def run_serving_bench(
             "max_ratio": POLICY_OVERHEAD_GATE,
             # Backend-independent: the hook/envelope cost exists on every
             # backend, so only the size floor conditions the assertion.
+            "asserted": n_edges >= GATE_MIN_EDGES,
+        },
+        "obs_overhead": {
+            "workers": POLICY_WORKERS,
+            "obs_off": obs_off_runs,
+            "obs_on": policy_runs,
+            "overhead_ratio": round(obs_overhead, 4),
+            "max_ratio": OBS_OVERHEAD_GATE,
+            # Same floor as the policy gate: below it the batch is
+            # timer-noise-dominated and the ratio means nothing.
             "asserted": n_edges >= GATE_MIN_EDGES,
         },
         "process_pool": {
@@ -361,6 +399,10 @@ def test_serving_bench():
           f"at {overhead['workers']} workers "
           f"(gate <= {overhead['max_ratio']}, "
           f"asserted={overhead['asserted']})")
+    obs = report["obs_overhead"]
+    print(f"[serving] obs_overhead_ratio={obs['overhead_ratio']} "
+          f"at {obs['workers']} workers (gate <= {obs['max_ratio']}, "
+          f"asserted={obs['asserted']})")
     proc = report["process_pool"]
     sup = proc["supervisor_overhead"]
     print(f"[serving] process scaling_vs_1_shard={proc['scaling_vs_1_shard']} "
@@ -382,6 +424,12 @@ def test_serving_bench():
             f"default ServePolicy costs {overhead['overhead_ratio']}x the "
             f"plain path at {overhead['workers']} workers with no faults "
             f"(gate {overhead['max_ratio']}x)"
+        )
+    if obs["asserted"]:
+        assert obs["overhead_ratio"] <= obs["max_ratio"], (
+            f"observability layer costs {obs['overhead_ratio']}x the "
+            f"obs-off policy path at {obs['workers']} workers "
+            f"(gate {obs['max_ratio']}x)"
         )
     if sup["asserted"]:
         assert sup["overhead_ratio"] <= sup["max_ratio"], (

@@ -5,7 +5,8 @@ and records the kernel trace (category + work per launch).  This example
 shows that machinery directly: build a dendrogram under a cost model, then
 price the identical kernel schedule on the calibrated EPYC-7A53 / MI250X /
 A100 specs and at the paper's full dataset scale -- the mechanism behind
-every GPU-shaped figure in the benchmark suite (see DESIGN.md).
+every GPU-shaped figure in the benchmark suite (see
+docs/architecture.md).
 
 Run:  python examples/device_model.py
 """

@@ -2,7 +2,11 @@
 
 Parallel dendrogram construction for single-linkage clustering and HDBSCAN*,
 with the paper's baselines, an EMST/HDBSCAN* substrate, synthetic dataset
-proxies, and a work-depth device model for GPU-shaped benchmarking.
+proxies, and a work-depth device model for GPU-shaped benchmarking.  On
+top sits a serving :class:`~repro.engine.Engine` (cache, thread and
+process executors, retry/breaker/fallback resilience) and a unified
+observability layer (:mod:`repro.obs`).  See ``docs/`` for the
+architecture, serving, observability, and benchmark guides.
 
 Quickstart::
 

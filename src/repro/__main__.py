@@ -23,6 +23,12 @@ Commands
                ``--poison-job`` inject deterministic worker crashes there
                (``--fault-rate`` injects *in-process* seam faults and so
                pairs with the thread executor).
+``metrics``    run a small serving batch through the engine and print the
+               observability surface it produced: the per-request trace
+               span trees (queue wait -> dispatch -> per-phase kernel
+               timings -> retry/fallback events) and the process-wide
+               metrics registry in Prometheus text format (see
+               ``docs/observability.md`` for every name).
 ``datasets``   list the Table-2 dataset registry.
 ``devices``    show the calibrated device models, price a synthetic trace,
                and list the registered execution backends with their
@@ -163,7 +169,22 @@ def cmd_dendrogram(args: argparse.Namespace) -> int:
     return 0
 
 
+def _metrics_pulse(engine) -> str:
+    """One compact serving-health line for periodic ``--metrics-every``
+    dumps: authoritative health counters plus the pool gauges."""
+    health = engine.health()
+    total = health["total"]
+    return (f"[metrics] ok={total['ok']} failed={total['failed']} "
+            f"timeout={total['timeout']} retries={total['retries']} "
+            f"fallbacks={total['fallbacks']} shed={health['shed']} "
+            f"queue_depth={health['queue_depth']} "
+            f"workers_alive={health['workers_alive']} "
+            f"respawns={health['respawns']}")
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
+    import threading
+
     from .engine import Engine
     from .engine.faults import FaultPlan, SiteFaults, WorkerFaults
     from .engine.resilience import ServePolicy
@@ -208,23 +229,46 @@ def cmd_serve(args: argparse.Namespace) -> int:
         executor=args.executor, shards=args.shards,
         pool_options=pool_options,
     )
-    if args.fault_rate > 0:
-        spec = SiteFaults(p_transient=args.fault_rate)
-        plan = FaultPlan(
-            {site: spec for site in ("kernel", "sort", "workspace")},
-            seed=args.fault_seed, budget=args.fault_budget,
+    stop_dumps = threading.Event()
+    dumper = None
+    if args.metrics_every is not None:
+        if args.metrics_every <= 0:
+            raise SystemExit("--metrics-every must be a positive number "
+                             "of seconds")
+
+        def _dump_loop() -> None:
+            while not stop_dumps.wait(args.metrics_every):
+                print(_metrics_pulse(engine), flush=True)
+
+        dumper = threading.Thread(
+            target=_dump_loop, name="metrics-dump", daemon=True
         )
-        with plan.active():
+        dumper.start()
+
+    try:
+        if args.fault_rate > 0:
+            spec = SiteFaults(p_transient=args.fault_rate)
+            plan = FaultPlan(
+                {site: spec for site in ("kernel", "sort", "workspace")},
+                seed=args.fault_seed, budget=args.fault_budget,
+            )
+            with plan.active():
+                results = engine.fit_many(problems, max_workers=args.workers,
+                                          policy=policy)
+            injected = plan.stats()
+            print(f"fault plan: p={args.fault_rate} at kernel/sort/workspace, "
+                  f"raised {injected['raised_total']} "
+                  f"(budget {injected['budget']}) over "
+                  f"{sum(injected['draws'].values())} pokes")
+        else:
             results = engine.fit_many(problems, max_workers=args.workers,
                                       policy=policy)
-        injected = plan.stats()
-        print(f"fault plan: p={args.fault_rate} at kernel/sort/workspace, "
-              f"raised {injected['raised_total']} "
-              f"(budget {injected['budget']}) over "
-              f"{sum(injected['draws'].values())} pokes")
-    else:
-        results = engine.fit_many(problems, max_workers=args.workers,
-                                  policy=policy)
+    finally:
+        stop_dumps.set()
+        if dumper is not None:
+            dumper.join(timeout=1.0)
+    if args.metrics_every is not None:
+        print(_metrics_pulse(engine))
 
     rows = [
         [r.index, r.status, r.backend or "-", r.attempts, r.retries,
@@ -284,6 +328,53 @@ def cmd_serve(args: argparse.Namespace) -> int:
               + ("IDENTICAL" if identical else "MISMATCH"))
         if not identical:
             return 1
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    from .engine import Engine
+    from .engine.resilience import ServePolicy
+    from .obs import (
+        Span,
+        enabled,
+        recent_spans,
+        render_prometheus,
+        render_span_tree,
+    )
+    from .structures import random_spanning_tree
+
+    if not enabled():
+        print("observability is disabled (REPRO_OBS=0); nothing to show",
+              file=sys.stderr)
+        return 1
+
+    rng = np.random.default_rng(args.seed)
+    problems = [
+        random_spanning_tree(args.n, rng, skew=0.5)
+        for _ in range(args.jobs)
+    ]
+    engine = Engine(executor=args.executor, shards=args.shards)
+    results = engine.fit_many(
+        problems, max_workers=args.workers, policy=ServePolicy()
+    )
+    n_ok = sum(r.ok for r in results)
+    print(f"served {n_ok}/{len(results)} jobs "
+          f"({args.executor} executor, {args.n:,} edges each)\n")
+
+    spans = recent_spans(args.spans)
+    if spans:
+        print(f"last {len(spans)} request span tree(s):")
+        for root in spans:
+            print(render_span_tree(root))
+        print()
+    if args.format in ("prometheus", "both"):
+        print(render_prometheus(), end="")
+    # Round-trip the snapshot the way Engine.metrics() hands it to
+    # callers: plain data, spans reconstructible from their dicts.
+    snap = engine.metrics(spans=1)
+    if snap["spans"]:
+        Span.from_dict(snap["spans"][-1])
+    engine.shutdown()
     return 0
 
 
@@ -459,7 +550,36 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--verify", action="store_true",
                    help="re-fit ok jobs fault-free and check bit-identical "
                         "parents")
+    p.add_argument("--metrics-every", type=float, default=None, metavar="S",
+                   help="print a compact serving-health line every S "
+                        "seconds while the batch runs (and once at the "
+                        "end); counters are the repro.obs registry "
+                        "mirrors of Engine.health()")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "metrics", help="serve a small batch and print the observability "
+                        "surface: per-request span trees plus the metrics "
+                        "registry in Prometheus text format"
+    )
+    p.add_argument("--jobs", type=int, default=4, help="batch size")
+    p.add_argument("--n", type=int, default=2_000,
+                   help="vertices per random tree")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=None,
+                   help="pool width (default: the backend's heuristic)")
+    p.add_argument("--executor", default="thread",
+                   choices=["thread", "process"],
+                   help="serving executor (process stitches the worker-side "
+                        "subtree into each request span)")
+    p.add_argument("--shards", type=int, default=None,
+                   help="worker-process count for --executor process")
+    p.add_argument("--spans", type=int, default=4,
+                   help="how many recent request span trees to print")
+    p.add_argument("--format", default="both",
+                   choices=["spans", "prometheus", "both"],
+                   help="what to print after the batch")
+    p.set_defaults(fn=cmd_metrics)
 
     p = sub.add_parser("datasets", help="list the dataset registry")
     p.set_defaults(fn=cmd_datasets)

@@ -178,6 +178,14 @@ def pandora(
     Returns
     -------
     (dendrogram, stats)
+
+    Raises
+    ------
+    InvalidGraphError
+        If the edges do not form a spanning tree in canonical form
+        (wrong edge count, out-of-range endpoints, cycles, ...).  This
+        is a *permanent* classification: the serving layer never
+        retries it (see :mod:`repro.engine.resilience`).
     """
     if cost_model is None:
         # Enclosing tracking() context if any, else a per-call sink so

@@ -26,11 +26,26 @@ from typing import Any, Callable
 
 import numpy as np
 
+from ..obs.metrics import REGISTRY as _REGISTRY
+
 __all__ = ["content_key", "ArtifactCache"]
 
 #: Fault-injection / cooperative-deadline hook (``repro.engine.faults``
 #: installs it on import); ``None`` keeps the seam at one identity check.
 _FAULT_HOOK = None
+
+# Observability mirror of the per-instance ints below (process-wide, so
+# every cache in the process lands in one series per event); the cached
+# child handles keep the hot path at one lock + one float add.
+_EVENTS = _REGISTRY.counter(
+    "repro_cache_events_total",
+    "Artifact-cache events across all caches in the process.",
+    ("event",),
+)
+_OBS_HIT = _EVENTS.labels(event="hit")
+_OBS_MISS = _EVENTS.labels(event="miss")
+_OBS_EVICTION = _EVENTS.labels(event="eviction")
+_OBS_PUT_FAULT = _EVENTS.labels(event="put_fault")
 
 
 def content_key(*parts: Any) -> tuple:
@@ -76,9 +91,14 @@ class ArtifactCache:
             if key in self._entries:
                 self._entries.move_to_end(key)
                 self.hits += 1
-                return self._entries[key]
-            self.misses += 1
-            return default
+                hit = True
+                value = self._entries[key]
+            else:
+                self.misses += 1
+                hit = False
+                value = default
+        (_OBS_HIT if hit else _OBS_MISS).inc()
+        return value
 
     def put(self, key: tuple, value: Any) -> Any:
         """Insert ``value`` (first writer wins); returns the stored value.
@@ -97,17 +117,24 @@ class ArtifactCache:
             except Exception:
                 with self._lock:
                     self.put_faults += 1
+                _OBS_PUT_FAULT.inc()
                 return value
-        with self._lock:
-            existing = self._entries.get(key)
-            if existing is not None:
-                self._entries.move_to_end(key)
-                return existing
-            self._entries[key] = value
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
-                self.evictions += 1
-            return value
+        evicted = 0
+        try:
+            with self._lock:
+                existing = self._entries.get(key)
+                if existing is not None:
+                    self._entries.move_to_end(key)
+                    return existing
+                self._entries[key] = value
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+                    self.evictions += 1
+                    evicted += 1
+                return value
+        finally:
+            if evicted:
+                _OBS_EVICTION.inc(evicted)
 
     def get_or_compute(self, key: tuple, compute: Callable[[], Any]) -> Any:
         """Cached value for ``key``, computing (outside the lock) on miss."""

@@ -51,6 +51,14 @@ import numpy as np
 
 from ..core.pandora import PandoraStats, pandora
 from ..hdbscan.pipeline import HDBSCANResult, hdbscan
+from ..obs.metrics import REGISTRY as _REGISTRY
+from ..obs.metrics import enabled as _obs_enabled
+from ..obs.metrics import label_scope as _label_scope
+from ..obs.spans import Span as _ObsSpan
+from ..obs.spans import new_id as _new_id
+from ..obs.spans import record_tree as _record_tree
+from ..obs.spans import recent_spans as _recent_spans
+from ..obs.spans import span as _obs_span
 from ..parallel.backend import Backend, get_backend, use_backend
 from ..parallel.connected import compress_labels, connected_components
 from ..parallel.machine import CostModel, active_model, untracked
@@ -71,6 +79,21 @@ from .resilience import (
 )
 
 __all__ = ["Engine", "DendrogramHandle"]
+
+# Observability mirrors (see docs/observability.md).  The request-latency
+# histogram is shared with ``resilience.run_job`` (get-or-create by name);
+# the engine observes it for process-executor jobs, whose latency is
+# accounted pool-side.
+_M_CALLS = _REGISTRY.counter(
+    "repro_engine_calls_total",
+    "Engine API entry calls by method (serving-path jobs included).",
+    ("method",),
+)
+_M_REQUEST = _REGISTRY.histogram(
+    "repro_request_seconds",
+    "End-to-end serving-request latency (retries and fallbacks included).",
+    ("executor", "status"),
+)
 
 
 @dataclass(frozen=True)
@@ -224,9 +247,37 @@ class Engine:
         trace (an explicit ``cost_model`` or an enclosing ``tracking``
         context) bypass the cache, since a cache hit runs no kernels and
         would otherwise silently record an empty trace.
+
+        Parameters
+        ----------
+        u, v, w:
+            MST edge arrays (endpoints and weights), any array-likes
+            accepted by :func:`~repro.structures.edgelist.as_edge_arrays`.
+        n_vertices:
+            Vertex count; ``None`` infers ``max(u, v) + 1``.
+        cost_model:
+            Optional :class:`~repro.parallel.machine.CostModel` sink for
+            the run's kernel records (forces a cache bypass).
+        plan:
+            Optional custom :class:`~repro.engine.plan.Plan` replacing the
+            default PANDORA pipeline (forces a cache bypass).
+
+        Returns
+        -------
+        DendrogramHandle
+            Immutable handle over the dendrogram and its run statistics.
+
+        Raises
+        ------
+        repro.structures.edgelist.InvalidGraphError
+            If the edge list fails validation (mismatched lengths,
+            negative endpoints, non-finite weights, ...).
         """
-        with self._scope():
+        _M_CALLS.inc(method="fit")
+        with self._scope() as backend, \
+                _obs_span("fit", backend=backend.name) as sp:
             if plan is not None or cost_model is not None or active_model() is not None:
+                sp.annotate(cache="bypass")
                 dend, stats = pandora(
                     u, v, w, n_vertices, cost_model=cost_model, plan=plan
                 )
@@ -236,13 +287,16 @@ class Engine:
                 n_vertices = int(
                     max(ua.max(initial=-1), va.max(initial=-1)) + 1
                 )
+            sp.annotate(n_edges=ua.size, n_vertices=int(n_vertices))
             key = content_key(
                 "fit", ua, va, wa, int(n_vertices),
                 str(index_dtype(ua.size + int(n_vertices))),
             )
             cached = self.cache.get(key)
             if cached is not None:
+                sp.annotate(cache="hit")
                 return cached
+            sp.annotate(cache="miss")
             dend, stats = pandora(ua, va, wa, n_vertices)
             return self.cache.put(key, DendrogramHandle(dend, stats))
 
@@ -268,6 +322,7 @@ class Engine:
         ``points_token`` optionally supplies a precomputed
         ``content_key(points)`` so batch callers hash the point array once.
         """
+        _M_CALLS.inc(method="knn")
         pts = np.ascontiguousarray(points, dtype=np.float64)
         token = points_token if points_token is not None else content_key(pts)
         key = content_key("knn", token, int(k), int(leaf_size))
@@ -293,6 +348,7 @@ class Engine:
         cached artifact of exactly that width.  ``points_token`` is as in
         :meth:`knn`.
         """
+        _M_CALLS.inc(method="emst")
         pts = np.ascontiguousarray(points, dtype=np.float64)
         n = int(pts.shape[0])
         token = points_token if points_token is not None else content_key(pts)
@@ -347,8 +403,12 @@ class Engine:
         if pts.ndim != 2:
             raise ValueError(f"points must be (n, d), got shape {pts.shape}")
         n = int(pts.shape[0])
+        _M_CALLS.inc(method="hdbscan_batch")
 
-        with self._scope():
+        with self._scope() as backend, _obs_span(
+            "hdbscan_batch", backend=backend.name, n=n,
+            batch=len(mpts_values),
+        ):
             # Hash the point array once for the whole batch (the digest,
             # not the hashing, is what the per-mpts keys need).
             token = content_key(pts)
@@ -359,22 +419,27 @@ class Engine:
                                   points_token=token)
             results: list[HDBSCANResult] = []
             for m in mpts_values:
-                t0 = time.perf_counter()
-                mst = self.emst(pts, mpts=m, leaf_size=leaf_size, knn=shared,
-                                points_token=token)
-                t_mst = time.perf_counter() - t0
-                res = hdbscan(
-                    pts,
-                    mpts=m,
-                    min_cluster_size=min_cluster_size,
-                    dendrogram_algorithm=dendrogram_algorithm,
-                    allow_single_cluster=allow_single_cluster,
-                    leaf_size=leaf_size,
-                    cost_model=cost_model,
-                    mst=mst,
-                )
-                res.phase_seconds["mst"] = t_mst
-                results.append(res)
+                with _obs_span("hdbscan", mpts=m) as sp:
+                    t0 = time.perf_counter()
+                    mst = self.emst(pts, mpts=m, leaf_size=leaf_size,
+                                    knn=shared, points_token=token)
+                    t_mst = time.perf_counter() - t0
+                    res = hdbscan(
+                        pts,
+                        mpts=m,
+                        min_cluster_size=min_cluster_size,
+                        dendrogram_algorithm=dendrogram_algorithm,
+                        allow_single_cluster=allow_single_cluster,
+                        leaf_size=leaf_size,
+                        cost_model=cost_model,
+                        mst=mst,
+                    )
+                    res.phase_seconds["mst"] = t_mst
+                    sp.annotate(n_clusters=res.n_clusters, **{
+                        f"{name}_s": round(seconds, 6)
+                        for name, seconds in res.phase_seconds.items()
+                    })
+                    results.append(res)
             return results
 
     # -- serving path ------------------------------------------------------
@@ -436,6 +501,7 @@ class Engine:
         thread path -- legal because backends and processes are
         bit-identical on every input.
         """
+        _M_CALLS.inc(method="map")
         items = list(items)
         jobs = [("call", (fn, item)) for item in items]
         return self._serve(fn, items, jobs, max_workers, policy, executor)
@@ -484,7 +550,8 @@ class Engine:
                 max_workers = self.default_workers(backend)
             backend_name = backend.name
         if policy is None:
-            with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            with _label_scope(executor="thread", backend=backend_name), \
+                    ThreadPoolExecutor(max_workers=max_workers) as pool:
                 futures = [
                     pool.submit(
                         contextvars.copy_context().run, self._shielded, fn, item
@@ -502,7 +569,8 @@ class Engine:
             None if policy.batch_deadline_s is None
             else time.perf_counter() + policy.batch_deadline_s
         )
-        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        with _label_scope(executor="thread", backend=backend_name), \
+                ThreadPoolExecutor(max_workers=max_workers) as pool:
             futures = [
                 pool.submit(
                     contextvars.copy_context().run,
@@ -514,6 +582,7 @@ class Engine:
                     self._health,
                     backend_name,
                     batch_deadline,
+                    time.perf_counter(),
                 )
                 for i, item in enumerate(items)
             ]
@@ -575,16 +644,17 @@ class Engine:
     ) -> Any:
         """Run one lost job on the thread path (pool died under it)."""
         self._pool_degraded += 1
-        if policy is None:
+        with _label_scope(executor="thread", backend=backend_name):
+            if policy is None:
+                return contextvars.copy_context().run(
+                    self._shielded, local_fn, item
+                )
             return contextvars.copy_context().run(
-                self._shielded, local_fn, item
+                run_job,
+                functools.partial(self._shielded, local_fn, item),
+                index, policy, self.breakers, self._health,
+                backend_name, batch_deadline,
             )
-        return contextvars.copy_context().run(
-            run_job,
-            functools.partial(self._shielded, local_fn, item),
-            index, policy, self.breakers, self._health,
-            backend_name, batch_deadline,
-        )
 
     def _map_process(
         self,
@@ -610,6 +680,7 @@ class Engine:
         retry_budget = 0 if policy is None else policy.max_retries
 
         tickets: list[Any] = []
+        traces: list[tuple[str, str] | None] = []
         for kind, payload in jobs:
             deadline_s = None if policy is None else policy.job_deadline_s
             if batch_deadline is not None:
@@ -618,10 +689,16 @@ class Engine:
                     remaining if deadline_s is None
                     else min(deadline_s, remaining)
                 )
+            # The request's trace/span ids are minted at submit time and
+            # ride the job envelope, so the worker-side span subtree comes
+            # back stitchable under this request (see ``repro.obs``).
+            trace = (_new_id(), _new_id()) if _obs_enabled() else None
+            traces.append(trace)
             try:
                 tickets.append(pool.submit(
                     kind, payload,
                     deadline_s=deadline_s, retry_budget=retry_budget,
+                    trace=trace,
                 ))
             except (RejectedError, PoisonedJobError) as exc:
                 tickets.append(exc)
@@ -647,11 +724,14 @@ class Engine:
                 continue
             job = pool.result(ticket)
             if job.status == "lost":
+                # The degraded re-run records its own thread-path request
+                # span; no process-side span is stitched for lost jobs.
                 results.append(self._degrade_job(
                     local_fn, items[i], i, policy, backend_name,
                     batch_deadline,
                 ))
                 continue
+            self._stitch_process_span(traces[i], job, backend_name)
             if policy is None:
                 if job.status == "ok":
                     results.append(job.value)
@@ -675,6 +755,52 @@ class Engine:
         if raised is not None:
             raise raised
         return results
+
+    @staticmethod
+    def _stitch_process_span(
+        trace: tuple[str, str] | None, job: Any, backend_name: str
+    ) -> None:
+        """Assemble and record one process-executor request span tree.
+
+        The parent side owns the request root (ids minted at submit
+        time): a synthesized ``queue`` child carries the accumulated
+        queue wait, the worker's shipped subtree (if any) slots under the
+        root via the envelope ids, and dispatch retries / worker kills
+        become span events.  Also lands the end-to-end latency in
+        ``repro_request_seconds{executor="process"}``.
+        """
+        if trace is None or not _obs_enabled():
+            return
+        status = job.status or "?"
+        trace_id, span_id = trace
+        root = _ObsSpan(
+            "request", trace_id=trace_id, span_id=span_id,
+            labels={
+                "executor": "process", "backend": backend_name,
+                "kind": job.kind, "status": status,
+                "attempts": job.attempts, "retries": job.retries,
+            },
+            start_unix=job.created_unix, duration_s=job.latency_s,
+        )
+        root.status = status if status != "ok" else "ok"
+        queue = _ObsSpan(
+            "queue", start_unix=job.created_unix,
+            duration_s=job.queue_wait_s,
+        )
+        root.add_child(queue)
+        if job.remote_span is not None:
+            try:
+                root.add_child(_ObsSpan.from_dict(job.remote_span))
+            except Exception:
+                pass  # malformed remote span must never fail a result
+        if job.retries:
+            root.event("shard_retries", count=job.retries)
+        if job.kills:
+            root.event("worker_kills", count=job.kills)
+        if job.worker is not None:
+            root.annotate(worker=job.worker)
+        _M_REQUEST.observe(job.latency_s, executor="process", status=status)
+        _record_tree(root)
 
     def drain(self, timeout: float | None = None) -> bool:
         """Gracefully drain the process pool (if one was ever created):
@@ -708,6 +834,7 @@ class Engine:
         ``policy`` -- see :meth:`map`).  On the process executor each
         problem ships to a shard as a plain ``fit`` descriptor (no
         closures cross the process boundary)."""
+        _M_CALLS.inc(method="fit_many")
         problems = list(problems)
         jobs = [("fit", _fit_problem(p)) for p in problems]
         return self._serve(
@@ -735,6 +862,7 @@ class Engine:
         :class:`~repro.engine.resilience.JobResult` envelope (see
         :meth:`map`).  ``kwargs`` are forwarded to :meth:`hdbscan`.
         """
+        _M_CALLS.inc(method="hdbscan_many")
         point_sets = list(point_sets)
         jobs = [
             (
@@ -754,6 +882,8 @@ class Engine:
 
     # -- introspection -----------------------------------------------------
     def cache_stats(self) -> dict[str, int]:
+        """Artifact-cache counters: ``entries``, ``hits``, ``misses``,
+        ``evictions``, ``put_faults``."""
         return self.cache.stats()
 
     def health(self) -> dict[str, Any]:
@@ -783,3 +913,33 @@ class Engine:
         snap["degraded"] = self._pool_degraded
         snap["pool"] = stats
         return snap
+
+    def metrics(self, spans: int = 8) -> dict[str, Any]:
+        """One structured observability snapshot (see docs/observability.md).
+
+        Parameters
+        ----------
+        spans:
+            How many of the most recent finished request span trees to
+            include (the in-process ring buffer holds the last
+            ``REPRO_OBS_SPANS``, default 64).
+
+        Returns
+        -------
+        dict
+            ``{"metrics": <registry snapshot>, "spans": [<span tree
+            dict>, ...], "cache": <cache stats>, "health": <health
+            snapshot>}``.  ``metrics`` is the process-wide
+            :data:`repro.obs.REGISTRY` snapshot (counters, gauges,
+            histogram buckets); ``spans`` are ``Span.to_dict()`` trees,
+            oldest first -- render one with
+            :func:`repro.obs.render_span_tree`.  ``cache`` and
+            ``health`` are this engine's authoritative dicts, included so
+            one call suffices to reconcile mirror against source.
+        """
+        return {
+            "metrics": _REGISTRY.snapshot(),
+            "spans": [s.to_dict() for s in _recent_spans(spans)],
+            "cache": self.cache_stats(),
+            "health": self.health(),
+        }

@@ -73,6 +73,8 @@ from contextvars import ContextVar
 from dataclasses import dataclass
 from typing import Iterator, Mapping
 
+from ..obs.metrics import REGISTRY as _REGISTRY
+
 __all__ = [
     "FAULT_SITES",
     "FaultInjected",
@@ -90,6 +92,14 @@ __all__ = [
 #: The named injection sites wired into the execution stack.
 FAULT_SITES: tuple[str, ...] = (
     "kernel", "sort", "workspace", "cache.put", "knn"
+)
+
+# Observability mirror: every fault a plan actually raises (or latency it
+# actually injects) is counted per (site, kind); see docs/observability.md.
+_M_FAULTS = _REGISTRY.counter(
+    "repro_faults_injected_total",
+    "Faults actually fired by the active FaultPlan, per site and kind.",
+    ("site", "kind"),
 )
 
 
@@ -287,10 +297,13 @@ class FaultPlan:
         if kind == "latency":
             with self._lock:
                 self._latency_fires += 1
+            _M_FAULTS.inc(site=site, kind="latency")
             time.sleep(spec.latency_s)
         elif kind == "transient":
+            _M_FAULTS.inc(site=site, kind="transient")
             raise TransientFault(site, f"draw {k}, seed {self.seed}")
         elif kind == "permanent":
+            _M_FAULTS.inc(site=site, kind="permanent")
             raise PermanentFault(site, f"draw {k}, seed {self.seed}")
 
     def stats(self) -> dict:

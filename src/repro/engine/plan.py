@@ -35,9 +35,21 @@ from dataclasses import dataclass
 from types import MappingProxyType
 from typing import Any, Callable, Iterator, Mapping, Sequence
 
+from ..obs.metrics import REGISTRY as _REGISTRY
+from ..obs.spans import Span as _ObsSpan
+from ..obs.spans import current_span as _current_span
 from ..parallel.machine import CostModel
 
 __all__ = ["Phase", "Plan", "PlanError", "PhaseTiming", "PlanResult"]
+
+# Per-phase wall time, observed once per executed phase (dispatcher
+# granularity: nothing inside kernels is touched, so traces stay
+# bit-identical with observability on).
+_M_PHASE = _REGISTRY.histogram(
+    "repro_phase_seconds",
+    "Wall-clock seconds per executed plan phase.",
+    ("phase",),
+)
 
 
 class PlanError(RuntimeError):
@@ -151,6 +163,7 @@ class Plan:
         artifacts: dict[str, Any] = dict(inputs)
         view = MappingProxyType(artifacts)
         timings: list[PhaseTiming] = []
+        request_span = _current_span()
         for phase in self._phases:
             missing = [r for r in phase.requires if r not in artifacts]
             if missing:
@@ -158,6 +171,7 @@ class Plan:
                     f"phase {phase.name!r} requires missing artifacts "
                     f"{missing}; available: {sorted(artifacts)}"
                 )
+            records_before = len(model.records) if model is not None else 0
             t0 = time.perf_counter()
             if model is not None:
                 with model.phase(phase.bucket):
@@ -165,6 +179,21 @@ class Plan:
             else:
                 produced = phase.run(view)
             seconds = time.perf_counter() - t0
+            _M_PHASE.observe(seconds, phase=phase.name)
+            if request_span is not None:
+                child = _ObsSpan(
+                    f"phase:{phase.name}",
+                    labels={"bucket": phase.bucket},
+                    duration_s=seconds,
+                )
+                child.start_unix -= seconds
+                if model is not None:
+                    new = model.records[records_before:]
+                    child.annotate(
+                        kernels=len(new),
+                        work=round(sum(r.work for r in new), 3),
+                    )
+                request_span.add_child(child)
             produced = dict(produced or {})
             undeclared = [k for k in phase.provides if k not in produced]
             if undeclared:

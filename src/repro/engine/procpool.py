@@ -60,6 +60,7 @@ import weakref
 from collections import deque
 from typing import Any
 
+from ..obs.metrics import REGISTRY as _REGISTRY
 from .cache import content_key
 from .worker import (
     CRASH_EXITCODE,
@@ -80,6 +81,45 @@ __all__ = [
     "WorkerCrashError",
     "RemoteJobError",
 ]
+
+# ---------------------------------------------------------------------------
+# Observability mirrors (see docs/observability.md).  Counters mirror the
+# pool's authoritative ints at the same call sites; gauges are published
+# by the supervisor loop each tick (with several pools in one process the
+# gauges reflect the most recently scanned pool).
+# ---------------------------------------------------------------------------
+_M_POOL_EVENTS = _REGISTRY.counter(
+    "repro_pool_events_total",
+    "Shard-pool lifecycle events (mirrors ShardPool.stats() counters).",
+    ("event",),
+)
+_M_POOL_JOBS = _REGISTRY.counter(
+    "repro_pool_jobs_total",
+    "Shard-pool jobs by terminal status.",
+    ("status",),
+)
+_M_QUEUE_DEPTH = _REGISTRY.gauge(
+    "repro_pool_queue_depth", "Jobs queued in the shard pool."
+)
+_M_INFLIGHT = _REGISTRY.gauge(
+    "repro_pool_inflight", "Jobs currently executing on shard workers."
+)
+_M_WORKERS_ALIVE = _REGISTRY.gauge(
+    "repro_pool_workers_alive", "Live shard-worker processes."
+)
+_M_HB_AGE = _REGISTRY.gauge(
+    "repro_pool_heartbeat_age_seconds",
+    "Age of the stalest worker heartbeat (ready workers only).",
+)
+_M_UNHEALTHY = _REGISTRY.gauge(
+    "repro_pool_unhealthy", "1 while the shard pool cannot make progress."
+)
+_M_QUEUE_WAIT = _REGISTRY.histogram(
+    "repro_queue_wait_seconds",
+    "Time a serving job waited between submission and execution start.",
+    ("executor",),
+)
+_OBS_QUEUE_WAIT_PROCESS = _M_QUEUE_WAIT.labels(executor="process")
 
 
 class RejectedError(RuntimeError):
@@ -153,12 +193,14 @@ class ShardJob:
         "id", "kind", "payload", "fingerprint", "deadline_at",
         "retry_budget", "created_at", "attempts", "retries", "kills",
         "status", "value", "error", "error_kind", "worker", "latency_s",
-        "event",
+        "event", "trace", "enqueued_at", "queue_wait_s", "remote_span",
+        "created_unix",
     )
 
     def __init__(self, job_id: int, kind: str, payload: Any,
                  fingerprint: tuple | None, deadline_at: float | None,
-                 retry_budget: int, created_at: float) -> None:
+                 retry_budget: int, created_at: float,
+                 trace: tuple[str, str] | None = None) -> None:
         self.id = job_id
         self.kind = kind
         self.payload = payload
@@ -176,6 +218,15 @@ class ShardJob:
         self.worker: int | None = None
         self.latency_s = 0.0
         self.event = threading.Event()
+        # Observability: the request's (trace_id, parent_span_id) pair
+        # shipped inside the job envelope, accumulated queue wait across
+        # (re-)dispatches, and the worker-side span tree shipped back
+        # with the result.
+        self.trace = trace
+        self.enqueued_at = created_at
+        self.queue_wait_s = 0.0
+        self.remote_span: dict | None = None
+        self.created_unix = time.time()
 
     @property
     def ok(self) -> bool:
@@ -357,12 +408,16 @@ class ShardPool:
         *,
         deadline_s: float | None = None,
         retry_budget: int = 0,
+        trace: tuple[str, str] | None = None,
     ) -> ShardJob:
         """Enqueue one job; returns its ticket (wait via :meth:`result`).
 
-        Raises :class:`RejectedError` when the pool is closing, draining,
-        or at ``max_pending``; :class:`PoisonedJobError` when the job's
-        content fingerprint is quarantined.
+        ``trace`` optionally carries the caller's ``(trace_id,
+        parent_span_id)`` pair into the job envelope, so the worker's span
+        subtree stitches under the caller's request span (see
+        ``repro.obs``).  Raises :class:`RejectedError` when the pool is
+        closing, draining, or at ``max_pending``; :class:`PoisonedJobError`
+        when the job's content fingerprint is quarantined.
         """
         if kind not in JOB_KINDS:
             raise ValueError(f"unknown job kind {kind!r}")
@@ -374,6 +429,7 @@ class ShardPool:
         with self._cond:
             if self._closed or self._draining:
                 self._shed += 1
+                _M_POOL_EVENTS.inc(event="shed")
                 raise RejectedError("shard pool is not accepting submissions")
             if fingerprint is not None and fingerprint in self._quarantine:
                 raise PoisonedJobError(
@@ -383,6 +439,7 @@ class ShardPool:
                 )
             if len(self._jobs) >= self._max_pending:
                 self._shed += 1
+                _M_POOL_EVENTS.inc(event="shed")
                 raise RejectedError(
                     f"admission queue full ({self._max_pending} jobs pending)"
                 )
@@ -390,12 +447,13 @@ class ShardPool:
                 self._next_job_id, kind, payload,
                 fingerprint,
                 None if deadline_s is None else now + deadline_s,
-                retry_budget, now,
+                retry_budget, now, trace,
             )
             self._next_job_id += 1
             self._jobs[job.id] = job
             self._pending.append(job)
             self._submitted += 1
+            _M_POOL_EVENTS.inc(event="submitted")
         self._kick()
         return job
 
@@ -523,6 +581,7 @@ class ShardPool:
                 now = time.monotonic()
                 self._scan(now)
                 self._dispatch(now)
+                self._publish_gauges(now)
                 if self._closed:
                     for w in self._workers:
                         if w.current is None and not w.stopping:
@@ -555,13 +614,14 @@ class ShardPool:
             if job is None or job.status is not None:
                 return  # stale duplicate from a presumed-dead worker
             try:
-                value = pickle.loads(blob)
+                value, remote_span = pickle.loads(blob)
             except Exception as exc:
                 self._finish(job, "failed", error=RemoteJobError(
                     type(exc).__name__,
                     f"result of job {job_id} failed to unpickle: {exc}",
                 ), error_kind="permanent")
             else:
+                job.remote_span = remote_span
                 self._finish(job, "ok", value=value)
             return
         if tag == MSG_ERR:
@@ -574,7 +634,9 @@ class ShardPool:
                     and not self._closed):
                 job.retries += 1
                 self._retries += 1
+                _M_POOL_EVENTS.inc(event="retry")
                 job.kills = 0  # the worker survived: kills are not consecutive
+                job.enqueued_at = now
                 self._pending.appendleft(job)
                 return
             error = self._decode_error(enc, kind)
@@ -644,10 +706,13 @@ class ShardPool:
                   now: float) -> None:
         if reason == "crash":
             self._crashes += 1
+            _M_POOL_EVENTS.inc(event="crash")
         else:
             self._hangs += 1
+            _M_POOL_EVENTS.inc(event="hang")
         if injected:
             self._injected_kills += 1
+            _M_POOL_EVENTS.inc(event="injected_kill")
         job = w.current
         w.current = None
         if job is not None and job.status is None:
@@ -659,6 +724,7 @@ class ShardPool:
                     if job.fingerprint is not None:
                         self._quarantine.add(job.fingerprint)
                     self._quarantined += 1
+                    _M_POOL_EVENTS.inc(event="quarantined")
                     self._finish(job, "failed", error=PoisonedJobError(
                         f"job {job.id} killed {job.kills} consecutive "
                         "workers; quarantined", kills=job.kills,
@@ -669,11 +735,14 @@ class ShardPool:
                         f"{job.attempts} dispatch attempts",
                     ), error_kind="transient")
                 else:
+                    job.enqueued_at = now
+                    _M_POOL_EVENTS.inc(event="redispatch")
                     self._pending.appendleft(job)
         if self._closed:
             return
         if self._respawns < self._respawn_budget:
             self._respawns += 1
+            _M_POOL_EVENTS.inc(event="respawn")
             self._spawn(now)
         elif not self._workers:
             # Budget exhausted and nobody left: fail everything as lost
@@ -717,13 +786,31 @@ class ShardPool:
             w.current = job
             try:
                 w.job_q.put_nowait(
-                    ("job", job.id, job.kind, job.payload, remaining)
+                    ("job", job.id, job.kind, job.payload, remaining,
+                     job.trace)
                 )
             except Exception:
                 # Broken pipe to a dying worker: undo; the scan reaps it.
                 w.current = None
                 job.attempts -= 1
                 self._pending.appendleft(job)
+            else:
+                wait = max(0.0, now - job.enqueued_at)
+                job.queue_wait_s += wait
+                _OBS_QUEUE_WAIT_PROCESS.observe(wait)
+
+    def _publish_gauges(self, now: float) -> None:
+        """Refresh the pool gauges (one supervisor tick's snapshot)."""
+        _M_QUEUE_DEPTH.set(len(self._pending))
+        _M_INFLIGHT.set(
+            sum(1 for w in self._workers if w.current is not None)
+        )
+        _M_WORKERS_ALIVE.set(
+            sum(1 for w in self._workers if w.proc.is_alive())
+        )
+        ages = [now - w.last_hb for w in self._workers if w.ready]
+        _M_HB_AGE.set(max(ages) if ages else 0.0)
+        _M_UNHEALTHY.set(1.0 if self._unhealthy else 0.0)
 
     def _spawn(self, now: float) -> None:
         wid = self._next_wid
@@ -763,5 +850,7 @@ class ShardPool:
         job.latency_s = time.monotonic() - job.created_at
         self._jobs.pop(job.id, None)
         self._completed += 1
+        _M_POOL_EVENTS.inc(event="completed")
+        _M_POOL_JOBS.inc(status=status)
         job.event.set()
         self._cond.notify_all()

@@ -64,6 +64,10 @@ from contextvars import ContextVar
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator
 
+from ..obs.metrics import REGISTRY as _REGISTRY
+from ..obs.metrics import current_labels as _obs_labels
+from ..obs.spans import Span as _ObsSpan
+from ..obs.spans import span as _obs_span
 from ..parallel.backend import fallback_chain, use_backend
 from .faults import deadline_scope
 
@@ -82,6 +86,38 @@ __all__ = [
 HEALTH_KEYS: tuple[str, ...] = (
     "ok", "failed", "timeout", "cancelled",
     "retries", "fallbacks", "breaker_trips",
+)
+
+# ---------------------------------------------------------------------------
+# Observability mirrors (see docs/observability.md).  ``repro_health_total``
+# is incremented exclusively inside ``HealthCounters.record`` so the
+# registry reconciles *exactly* with ``Engine.health()`` -- both serving
+# paths route every outcome through that one method.
+# ---------------------------------------------------------------------------
+_M_HEALTH = _REGISTRY.counter(
+    "repro_health_total",
+    "Serving outcomes per backend; mirrors HealthCounters / Engine.health().",
+    ("backend", "outcome"),
+)
+_M_BREAKER_TRIPS = _REGISTRY.counter(
+    "repro_breaker_trips_total",
+    "Circuit-breaker trips per (backend, site).",
+    ("backend", "site"),
+)
+_M_BACKOFF = _REGISTRY.counter(
+    "repro_retry_backoff_seconds_total",
+    "Total seconds slept in retry backoff, per backend.",
+    ("backend",),
+)
+_M_REQUEST = _REGISTRY.histogram(
+    "repro_request_seconds",
+    "End-to-end serving-request latency (retries and fallbacks included).",
+    ("executor", "status"),
+)
+_M_QUEUE_WAIT = _REGISTRY.histogram(
+    "repro_queue_wait_seconds",
+    "Time a serving job waited between submission and execution start.",
+    ("executor",),
 )
 
 
@@ -297,6 +333,10 @@ class HealthCounters:
         with self._lock:
             per = self._counts.setdefault(backend, dict.fromkeys(HEALTH_KEYS, 0))
             per[key] += n
+        # Mirror into the metrics registry at the single authoritative
+        # call site, so ``repro_health_total`` reconciles exactly with
+        # ``Engine.health()`` (no double counting across serving paths).
+        _M_HEALTH.inc(n, backend=backend, outcome=key)
 
     def snapshot(self) -> dict[str, Any]:
         """``{"total": {...}, "backends": {name: {...}}}``, all keys present."""
@@ -349,15 +389,60 @@ def run_job(
     health: HealthCounters,
     backend_name: str,
     batch_deadline: float | None = None,
+    submitted_at: float | None = None,
 ) -> JobResult:
     """Execute one serving job under ``policy``; never raises (envelopes).
 
     ``call`` is the zero-argument job body; ``backend_name`` the backend
     the batch was submitted under; ``batch_deadline`` an optional
-    ``time.perf_counter`` instant shared by the whole batch.  Runs in the
-    caller's context (the engine invokes it inside each job's context
-    snapshot).
+    ``time.perf_counter`` instant shared by the whole batch; and
+    ``submitted_at`` an optional ``time.perf_counter`` submission instant
+    used to account queue wait (observed as ``repro_queue_wait_seconds``
+    and a ``queue`` child span).  Runs in the caller's context (the
+    engine invokes it inside each job's context snapshot).
+
+    Observability: the whole attempt sequence runs under a ``request``
+    span -- retries, backoff sleeps, fallbacks, and breaker trips are
+    recorded as span events and mirrored into the metrics registry (see
+    ``docs/observability.md``); the final status annotates the span and
+    lands in the ``repro_request_seconds`` histogram.
     """
+    executor = _obs_labels().get("executor", "thread")
+    with _obs_span("request", job=index, backend=backend_name) as sp:
+        if submitted_at is not None:
+            queue_wait = max(0.0, time.perf_counter() - submitted_at)
+            _M_QUEUE_WAIT.observe(queue_wait, executor=executor)
+            if sp:
+                queue = _ObsSpan("queue", duration_s=queue_wait)
+                queue.start_unix -= queue_wait
+                sp.add_child(queue)
+        result = _run_job_attempts(
+            call, index, policy, board, health, backend_name,
+            batch_deadline, sp,
+        )
+        sp.annotate(
+            status=result.status, attempts=result.attempts,
+            retries=result.retries, fallbacks=result.fallbacks,
+            backend=result.backend if result.backend else backend_name,
+        )
+        _M_REQUEST.observe(
+            result.latency_s, executor=executor, status=result.status
+        )
+        return result
+
+
+def _run_job_attempts(
+    call: Callable[[], Any],
+    index: int,
+    policy: ServePolicy,
+    board: BreakerBoard,
+    health: HealthCounters,
+    backend_name: str,
+    batch_deadline: float | None,
+    sp,
+) -> JobResult:
+    """The retry/fallback chain walk behind :func:`run_job` (``sp`` is the
+    enclosing request span, or the null span when obs is disabled)."""
     t0 = time.perf_counter()
     deadline = None if policy.job_deadline_s is None else t0 + policy.job_deadline_s
     if batch_deadline is not None:
@@ -380,6 +465,7 @@ def run_job(
         if depth > 0:
             fallbacks += 1
             health.record(bname, "fallbacks")
+            sp.event("fallback", to=bname, depth=depth)
         retries_here = 0
         while True:
             attempts += 1
@@ -413,6 +499,8 @@ def run_job(
                     policy.breaker_cooldown_s,
                 ):
                     health.record(bname, "breaker_trips")
+                    _M_BREAKER_TRIPS.inc(backend=bname, site=site)
+                    sp.event("breaker_trip", backend=bname, site=site)
                 if retries_here < policy.max_retries and not board.is_open(
                     bname, site
                 ):
@@ -422,7 +510,13 @@ def run_job(
                     delay = policy.backoff_s(retries_here)
                     if deadline is not None:
                         delay = min(delay, max(0.0, deadline - time.perf_counter()))
+                    sp.event(
+                        "retry", backend=bname, site=site,
+                        attempt=retries_here,
+                        backoff_ms=round(delay * 1e3, 3),
+                    )
                     if delay > 0:
+                        _M_BACKOFF.inc(delay, backend=bname)
                         time.sleep(delay)
                     continue
                 break  # retries exhausted or breaker open: next backend

@@ -23,15 +23,20 @@ the only faults a worker sees are the explicit
 
 Protocol
 --------
-The worker receives ``("job", job_id, kind, payload, deadline_s)`` /
-``("stop",)`` tuples on its private job queue and emits on the shared
-result queue:
+The worker receives ``("job", job_id, kind, payload, deadline_s, trace)``
+/ ``("stop",)`` tuples on its private job queue (``trace`` is the
+caller's ``(trace_id, parent_span_id)`` pair, or ``None``) and emits on
+the shared result queue:
 
 * ``("ready", worker_id, pid)`` -- bootstrap (including optional backend
   warmup and any injected slow start) finished; dispatch may begin.
 * ``("hb", worker_id, seq)`` -- heartbeat, every ``heartbeat_s``, from a
   dedicated daemon thread so long-running kernels never look hung.
-* ``("done", worker_id, job_id, blob)`` -- pickled result value.
+* ``("done", worker_id, job_id, blob)`` -- pickled ``(value, span)``
+  pair; ``span`` is the worker-side trace-span tree as plain data
+  (:meth:`repro.obs.Span.to_dict`), or ``None`` when observability is
+  off.  The parent stitches it under the request span it created at
+  submit time -- span ids cross the process boundary via the envelope.
 * ``("err", worker_id, job_id, kind, enc)`` -- the job raised; ``kind`` is
   the :func:`~repro.engine.resilience.classify` bucket computed in-child
   and ``enc`` an exception encoding that survives unpicklable errors.
@@ -103,6 +108,8 @@ def reset_inherited_context(backend: str | None) -> None:
     work in-child, while the plan/deadline ContextVars are cleared so no
     parent-side schedule survives.
     """
+    from ..obs import metrics as _obs_metrics
+    from ..obs import spans as _obs_spans
     from ..parallel import backend as _backend
     from ..parallel.machine import _ACTIVE, _DEBUG_CHECKS
     from ..parallel.workspace import _CAP, _CONFIG
@@ -116,6 +123,8 @@ def reset_inherited_context(backend: str | None) -> None:
     _DEBUG_CHECKS.set(None)
     _CAP.set(None)
     _CONFIG.set(None)
+    _obs_spans._CURRENT.set(None)
+    _obs_metrics._LABEL_CTX.set(())
     if backend is not None:
         _backend.set_default_backend(backend)
 
@@ -178,6 +187,7 @@ def worker_main(worker_id: int, job_q, result_q, config: WorkerConfig) -> None:
     if faults is not None and faults.slow_start_s > 0:
         time.sleep(faults.slow_start_s)
 
+    from ..obs.spans import span as obs_span
     from ..parallel.backend import get_backend
     from .faults import deadline_scope
     from .resilience import classify
@@ -210,7 +220,7 @@ def worker_main(worker_id: int, job_q, result_q, config: WorkerConfig) -> None:
             message = job_q.get()
             if message[0] == "stop":
                 return
-            _tag, job_id, kind, payload, deadline_s = message
+            _tag, job_id, kind, payload, deadline_s, trace = message
             if faults is not None:
                 action = faults.decide(worker_id, draw)
                 draw += 1
@@ -224,9 +234,16 @@ def worker_main(worker_id: int, job_q, result_q, config: WorkerConfig) -> None:
                 else time.perf_counter() + deadline_s
             )
             try:
-                with deadline_scope(deadline):
-                    value = JOB_KINDS[kind](payload)
-                blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+                with obs_span(
+                    f"shard:{kind}", trace=trace, record=False,
+                    worker=worker_id, pid=os.getpid(),
+                ) as jsp:
+                    with deadline_scope(deadline):
+                        value = JOB_KINDS[kind](payload)
+                blob = pickle.dumps(
+                    (value, jsp.to_dict() if jsp else None),
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
             except TimeoutError as exc:
                 result_q.put(
                     (MSG_ERR, worker_id, job_id, "timeout", _encode_error(exc))

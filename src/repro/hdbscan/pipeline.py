@@ -112,6 +112,22 @@ def hdbscan(
         ``mpts`` (e.g. an :class:`~repro.engine.Engine` cache artifact);
         skips the in-pipeline EMST build and records a zero ``mst`` phase.
         The caller is responsible for parameter consistency.
+
+    Returns
+    -------
+    HDBSCANResult
+        Flat ``labels``/``probabilities`` (noise is ``-1``), the
+        single-linkage :class:`~repro.structures.dendrogram.Dendrogram`,
+        the condensed tree and flat clustering, the mutual-reachability
+        :class:`~repro.spatial.emst.EMSTResult`, PANDORA stats when that
+        algorithm ran, and per-phase wall times in ``phase_seconds``
+        (``mst`` / ``dendrogram`` / ``extraction``).
+
+    Raises
+    ------
+    ValueError
+        If ``points`` is not a 2-d array or ``dendrogram_algorithm`` is
+        not one of :data:`DENDROGRAM_ALGORITHMS`.
     """
     points = np.ascontiguousarray(points, dtype=np.float64)
     if points.ndim != 2:

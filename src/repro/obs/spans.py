@@ -1,0 +1,301 @@
+"""Per-request trace spans: one tree per serving request, across processes.
+
+A :class:`Span` is a named, timed node with labels, point events, and
+child spans.  The active span is context-local (ContextVar), so spans
+created anywhere below a request -- engine call, plan phase, retry loop
+-- attach to the right parent even under the thread-pool serving path
+(each job runs in its own context snapshot).  Finished *root* spans land
+in a bounded in-process ring buffer, read back with :func:`recent_spans`
+and surfaced by ``Engine.metrics()``.
+
+Crossing the process boundary
+-----------------------------
+Span ids are plain strings, so they ship inside the shard-pool job
+envelope: the parent creates the request's ``trace_id`` / root span id at
+submit time, the worker opens its job span *seeded with those ids*
+(``span(..., trace=(trace_id, parent_span_id), record=False)``), runs the
+job under it, and returns ``Span.to_dict()`` next to the result blob.
+The parent then stitches queue wait, dispatch/retry events, and the
+worker's subtree into one request tree -- see
+``repro.engine.procpool`` / ``repro.engine.worker``.
+
+Like metrics, spans honor the global :func:`repro.obs.metrics.enabled`
+switch: when off, :func:`span` yields the inert :data:`NULL_SPAN` (whose
+``event`` / ``annotate`` are no-ops and whose truth value is ``False``)
+and nothing is recorded.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Iterator, Mapping
+
+from . import metrics as _metrics
+
+__all__ = [
+    "Span",
+    "NULL_SPAN",
+    "new_id",
+    "span",
+    "current_span",
+    "record_tree",
+    "recent_spans",
+    "clear_spans",
+    "render_span_tree",
+]
+
+
+def new_id() -> str:
+    """A fresh 16-hex-digit trace/span id (random, not sequential)."""
+    return os.urandom(8).hex()
+
+
+class Span:
+    """One node of a request trace tree (see the module docstring).
+
+    Spans are mutable while open and must be treated as frozen once their
+    root is recorded; readers only ever see finished trees.
+    """
+
+    __slots__ = (
+        "name", "trace_id", "span_id", "parent_id", "labels",
+        "start_unix", "duration_s", "status", "events", "children",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        trace_id: str | None = None,
+        span_id: str | None = None,
+        parent_id: str | None = None,
+        labels: Mapping[str, Any] | None = None,
+        start_unix: float | None = None,
+        duration_s: float = 0.0,
+    ) -> None:
+        self.name = name
+        self.trace_id = trace_id if trace_id is not None else new_id()
+        self.span_id = span_id if span_id is not None else new_id()
+        self.parent_id = parent_id
+        self.labels: dict[str, str] = {
+            k: str(v) for k, v in (labels or {}).items()
+        }
+        self.start_unix = time.time() if start_unix is None else start_unix
+        self.duration_s = duration_s
+        self.status = "ok"
+        self.events: list[tuple[float, str, dict[str, Any]]] = []
+        self.children: list[Span] = []
+
+    def __bool__(self) -> bool:
+        return True
+
+    def annotate(self, **labels: Any) -> None:
+        """Attach (or overwrite) label values on this span."""
+        for k, v in labels.items():
+            self.labels[k] = str(v)
+
+    def event(self, name: str, **fields: Any) -> None:
+        """Record a point event at the current offset into the span."""
+        offset = max(0.0, time.time() - self.start_unix)
+        self.events.append((offset, name, fields))
+
+    def add_child(self, child: "Span") -> None:
+        """Attach an already-built child (stitching path); fixes its
+        ``trace_id`` / ``parent_id`` to this span."""
+        child.trace_id = self.trace_id
+        child.parent_id = self.span_id
+        self.children.append(child)
+
+    # -- wire format -------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data (picklable, JSON-able) form, children included."""
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "labels": dict(self.labels),
+            "start_unix": self.start_unix,
+            "duration_s": self.duration_s,
+            "status": self.status,
+            "events": [
+                [offset, name, dict(fields)]
+                for offset, name, fields in self.events
+            ],
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Span":
+        """Rebuild a span tree from :meth:`to_dict` output."""
+        sp = cls(
+            data["name"],
+            trace_id=data.get("trace_id"),
+            span_id=data.get("span_id"),
+            parent_id=data.get("parent_id"),
+            labels=data.get("labels") or {},
+            start_unix=data.get("start_unix", 0.0),
+            duration_s=data.get("duration_s", 0.0),
+        )
+        sp.status = data.get("status", "ok")
+        sp.events = [
+            (float(e[0]), str(e[1]), dict(e[2]))
+            for e in data.get("events", ())
+        ]
+        sp.children = [cls.from_dict(c) for c in data.get("children", ())]
+        return sp
+
+
+class _NullSpan:
+    """Inert stand-in yielded while observability is disabled."""
+
+    __slots__ = ()
+    labels: dict[str, str] = {}
+    children: list = []
+    events: list = []
+
+    def __bool__(self) -> bool:
+        return False
+
+    def annotate(self, **labels: Any) -> None:
+        pass
+
+    def event(self, name: str, **fields: Any) -> None:
+        pass
+
+    def add_child(self, child: Any) -> None:
+        pass
+
+    def to_dict(self) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+_CURRENT: ContextVar[Span | None] = ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+#: Finished root spans, newest last; bounded so serving forever cannot
+#: grow memory (``REPRO_OBS_SPANS`` overrides the capacity).
+_SINK_CAPACITY = max(1, int(os.environ.get("REPRO_OBS_SPANS", "64")))
+_SINK: deque[Span] = deque(maxlen=_SINK_CAPACITY)
+_SINK_LOCK = threading.Lock()
+
+
+def current_span() -> Span | None:
+    """The span active in this context, or ``None``."""
+    return _CURRENT.get()
+
+
+def record_tree(root: Span) -> None:
+    """Publish a finished root span to the ring buffer."""
+    if not _metrics.enabled():
+        return
+    with _SINK_LOCK:
+        _SINK.append(root)
+
+
+def recent_spans(n: int | None = None) -> list[Span]:
+    """The most recent finished root spans, oldest first (up to ``n``)."""
+    with _SINK_LOCK:
+        out = list(_SINK)
+    return out if n is None else out[-n:]
+
+
+def clear_spans() -> None:
+    """Empty the ring buffer (tests and CLI batch boundaries)."""
+    with _SINK_LOCK:
+        _SINK.clear()
+
+
+@contextmanager
+def span(
+    name: str,
+    *,
+    trace: tuple[str, str] | None = None,
+    record: bool = True,
+    **labels: Any,
+) -> Iterator[Span | _NullSpan]:
+    """Open a span named ``name`` for the duration of the block.
+
+    The span becomes the context-local parent of any span opened inside
+    the block.  On exit it attaches to *its* parent, or -- when it is a
+    root -- lands in the ring buffer (``record=False`` suppresses that,
+    for spans that ship across a process boundary instead).  ``trace``
+    seeds ``(trace_id, parent_span_id)`` from a remote parent.  An
+    exception escaping the block sets ``status`` to the exception type
+    name and re-raises.  While observability is disabled this yields
+    :data:`NULL_SPAN` and costs one ContextVar read.
+    """
+    if not _metrics.enabled():
+        yield NULL_SPAN
+        return
+    parent = _CURRENT.get()
+    kwargs: dict[str, Any] = {"labels": labels}
+    if trace is not None:
+        kwargs["trace_id"], kwargs["parent_id"] = trace
+    elif parent is not None:
+        kwargs["trace_id"] = parent.trace_id
+        kwargs["parent_id"] = parent.span_id
+    sp = Span(name, **kwargs)
+    token = _CURRENT.set(sp)
+    t0 = time.perf_counter()
+    try:
+        yield sp
+    except BaseException as exc:
+        sp.status = type(exc).__name__
+        raise
+    finally:
+        sp.duration_s = time.perf_counter() - t0
+        _CURRENT.reset(token)
+        if parent is not None and trace is None:
+            parent.children.append(sp)
+        elif record:
+            record_tree(sp)
+
+
+def render_span_tree(root: Span | Mapping[str, Any], width: int = 72) -> str:
+    """ASCII rendering of one span tree (durations right-aligned).
+
+    Accepts a :class:`Span` or its :meth:`Span.to_dict` form; events are
+    listed under their span, labels inline.  Purely presentational --
+    ``Engine.metrics()`` returns the structured form.
+    """
+    if isinstance(root, Mapping):
+        root = Span.from_dict(root)
+
+    lines: list[str] = []
+
+    def fmt_labels(labels: Mapping[str, str]) -> str:
+        if not labels:
+            return ""
+        body = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+        return " {" + body + "}"
+
+    def walk(sp: Span, prefix: str, is_last: bool, is_root: bool) -> None:
+        connector = "" if is_root else ("`- " if is_last else "|- ")
+        head = f"{prefix}{connector}{sp.name}{fmt_labels(sp.labels)}"
+        dur = f"{sp.duration_s * 1e3:9.2f} ms"
+        pad = max(1, width - len(head))
+        status = "" if sp.status == "ok" else f"  !{sp.status}"
+        lines.append(f"{head}{' ' * pad}{dur}{status}")
+        child_prefix = prefix + ("" if is_root else ("   " if is_last else "|  "))
+        for offset, name, fields in sp.events:
+            extra = (
+                " " + ",".join(f"{k}={v}" for k, v in sorted(fields.items()))
+                if fields else ""
+            )
+            lines.append(
+                f"{child_prefix}  * {name}@{offset * 1e3:.1f}ms{extra}"
+            )
+        for i, child in enumerate(sp.children):
+            walk(child, child_prefix, i == len(sp.children) - 1, False)
+
+    walk(root, "", True, True)
+    return "\n".join(lines)

@@ -95,7 +95,28 @@ class KNNArtifact:
 def knn_graph(
     points: np.ndarray, k: int, leaf_size: int = 96, tree: KDTree | None = None
 ) -> KNNArtifact:
-    """Build the shared kNN artifact: kd-tree + ``k``-column self-query."""
+    """Build the shared kNN artifact: kd-tree + ``k``-column self-query.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` float array.
+    k:
+        Neighbor columns to retain (clamped to ``n``); rows come back
+        sorted ascending, so slicing the first ``k'`` columns reproduces
+        a direct ``k'``-column query.
+    leaf_size:
+        kd-tree leaf size; ignored when ``tree`` is supplied.
+    tree:
+        Optional prebuilt :class:`~repro.spatial.kdtree.KDTree` over the
+        same points; skips the tree build.
+
+    Returns
+    -------
+    KNNArtifact
+        The tree plus ``(n, k)`` neighbor distances and ids, bit-identical
+        across all registered backends.
+    """
     points = np.ascontiguousarray(points, dtype=np.float64)
     if tree is None:
         tree = KDTree.build(points, leaf_size=leaf_size)
@@ -174,6 +195,12 @@ def emst(
     Returns
     -------
     :class:`EMSTResult` with ``n - 1`` edges for ``n >= 1`` points.
+
+    Raises
+    ------
+    ValueError
+        If ``points`` is empty, or a supplied ``knn`` artifact covers a
+        different point count or has fewer columns than this call needs.
     """
     points = np.ascontiguousarray(points, dtype=np.float64)
     n = points.shape[0]
